@@ -1,0 +1,17 @@
+"""Benchmark configuration: each bench runs its experiment once.
+
+The benchmarks double as the reproduction harness: every figure/table
+of the paper's evaluation has one bench that regenerates its data and
+prints the result table (captured in bench_output.txt).
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the (expensive) simulation exactly once under timing."""
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+    return _run

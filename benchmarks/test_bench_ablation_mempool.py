@@ -1,0 +1,28 @@
+"""Ablation bench: pool-based buffer allocation vs malloc-per-message.
+
+DESIGN.md calls out Palladium's rte_mempool-style pre-allocated buffer
+pools (§3.4).  This bench compares end-to-end echo RPS with the pool
+allocator against a variant paying glibc-malloc cost per message.
+"""
+
+from repro.config import cost_model_overrides
+from repro.experiments.fig11_offpath import run_echo_point
+
+
+def test_bench_ablation_mempool(once):
+    def ablation():
+        pool_rps, _ = run_echo_point("off-path", 1024, 16,
+                                     duration_us=40_000)
+        malloc_cost = cost_model_overrides()
+        from dataclasses import replace
+        malloc_cost = replace(malloc_cost,
+                              mempool_op_us=malloc_cost.malloc_op_us)
+        malloc_rps, _ = run_echo_point("off-path", 1024, 16,
+                                       duration_us=40_000, cost=malloc_cost)
+        return pool_rps, malloc_rps
+
+    pool_rps, malloc_rps = once(ablation)
+    print(f"\n== Ablation: mempool vs malloc ==")
+    print(f"pool allocator: {pool_rps:,.0f} RPS")
+    print(f"malloc per message: {malloc_rps:,.0f} RPS")
+    assert pool_rps >= malloc_rps

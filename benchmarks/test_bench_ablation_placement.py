@@ -1,0 +1,15 @@
+"""Ablation bench: placement sensitivity of RDMA vs kernel data planes (§2)."""
+
+from repro.experiments import run_placement_ablation
+
+
+def test_bench_ablation_placement(once):
+    result = once(run_placement_ablation, clients=40, duration_us=100_000)
+    print()
+    print(result)
+    # Palladium degrades less than SPRIGHT when placement splits
+    note = next(n for n in result.notes if "latency hit" in n)
+    print(note)
+    pd = result.find_row(data_plane="palladium", placement="split")
+    sp = result.find_row(data_plane="spright", placement="split")
+    assert pd["latency_ms"] < sp["latency_ms"]

@@ -1,0 +1,46 @@
+"""Ablation bench: shadow-QP connection pooling vs per-transfer setup.
+
+DESIGN.md calls out Palladium's RC connection pooling with shadow
+activation (§3.3): established connections are reused and activated in
+~1 us, instead of paying the tens-of-milliseconds RC handshake on the
+data path.  This bench quantifies that choice.
+"""
+
+from repro.config import CostModel
+from repro.hw import build_cluster
+from repro.rdma import ConnectionManager, RdmaFabric
+from repro.sim import Environment
+
+
+def _time_connection(warmed: bool) -> float:
+    env = Environment()
+    cost = CostModel()
+    cluster = build_cluster(env, cost)
+    fabric = RdmaFabric(env, cluster, cost)
+    fabric.install_rnic("worker0")
+    fabric.install_rnic("worker1")
+    cm = ConnectionManager(env, fabric, "worker0", cost)
+    elapsed = {}
+
+    def run():
+        if warmed:
+            yield from cm.warm_up("worker1", "t", 2)
+        t0 = env.now
+        yield from cm.get_connection("worker1", "t")
+        elapsed["t"] = env.now - t0
+
+    env.process(run())
+    env.run()
+    return elapsed["t"]
+
+
+def test_bench_ablation_shadow_qp(once):
+    def ablation():
+        return _time_connection(warmed=True), _time_connection(warmed=False)
+
+    warm, cold = once(ablation)
+    print(f"\n== Ablation: shadow-QP pooling ==")
+    print(f"warmed pool (shadow activate): {warm:.1f} us")
+    print(f"cold RC handshake on data path: {cold:.1f} us")
+    print(f"speedup: {cold / warm:,.0f}x")
+    assert cold > 1000 * warm

@@ -1,0 +1,12 @@
+"""Ablation bench: service-mesh sidecar variants (§3.1)."""
+
+from repro.experiments import run_sidecar_ablation
+
+
+def test_bench_ablation_sidecar(once):
+    result = once(run_sidecar_ablation, clients=40, duration_us=100_000)
+    print()
+    print(result)
+    container = result.find_row(sidecar="container-sidecar")
+    ebpf = result.find_row(sidecar="ebpf-sidecar")
+    assert ebpf["rps"] > container["rps"]

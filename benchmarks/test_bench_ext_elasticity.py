@@ -1,0 +1,52 @@
+"""Extension bench: function autoscaling under a load burst.
+
+A replicated service behind the backlog-driven autoscaler absorbs a
+burst: replicas scale out (throughput rises, per-request latency falls)
+and retire afterwards — the provisioning churn the paper's §1 motivates.
+"""
+
+from repro.platform import ElasticPlatform, FunctionAutoscaler, FunctionSpec, Tenant
+from repro.sim import Environment
+
+
+def _run(autoscale: bool):
+    env = Environment()
+    plat = ElasticPlatform(env)
+    plat.add_tenant(Tenant("t1", pool_buffers=2048))
+    caller = plat.deploy(FunctionSpec("edge", "t1", work_us=0), "worker0")
+    spec = FunctionSpec("svc", "t1", work_us=300, concurrency=1)
+    plat.deploy_service(spec, "worker1", replicas=1)
+    scaler = FunctionAutoscaler(plat, spec, nodes=["worker1", "worker0"],
+                                max_replicas=6, high_watermark=2.0,
+                                low_watermark=0.2, period_us=15_000)
+    plat.start()
+    if autoscale:
+        scaler.start()
+    latencies = []
+
+    def client(i):
+        yield env.timeout(40_000)
+        for _ in range(10):
+            t0 = env.now
+            yield from caller.invoke("svc", "x", 512)
+            latencies.append(env.now - t0)
+
+    for i in range(16):
+        env.process(client(i))
+    env.run(until=1_500_000)
+    peak = max((v for _t, v in scaler.replica_series), default=1)
+    return (len(latencies), sum(latencies) / max(1, len(latencies)), peak,
+            scaler.scale_outs, scaler.scale_ins)
+
+
+def test_bench_ext_elasticity(once):
+    def ablation():
+        return _run(autoscale=False), _run(autoscale=True)
+
+    static, elastic = once(ablation)
+    print("\n== Extension: function autoscaling under burst ==")
+    print(f"{'variant':<12} {'completed':>9} {'mean lat':>10} {'peak replicas':>14}")
+    print(f"{'static':<12} {static[0]:>9} {static[1]:>8.0f}us {1:>14}")
+    print(f"{'autoscaled':<12} {elastic[0]:>9} {elastic[1]:>8.0f}us {elastic[2]:>14.0f}")
+    print(f"scale-outs={elastic[3]}, scale-ins={elastic[4]}")
+    assert elastic[1] < static[1]  # scaling cut the burst latency

@@ -1,0 +1,12 @@
+"""Extension bench: multi-instance ingress load balancing (§4.1.3)."""
+
+from repro.experiments import run_multi_ingress
+
+
+def test_bench_ext_multi_ingress(once):
+    result = once(run_multi_ingress, duration_us=250_000)
+    print()
+    print(result)
+    single = result.find_row(instances=1)
+    balanced = result.find_row(instances=2)
+    assert balanced["worst_gap_ms"] < single["worst_gap_ms"]

@@ -1,0 +1,14 @@
+"""Bench: regenerate Fig. 9 (DPU/host descriptor channels)."""
+
+from repro.experiments import run_fig09
+
+
+def test_bench_fig09(once):
+    result = once(run_fig09, function_counts=(1, 2, 4, 6, 8, 10),
+                  duration_us=40_000)
+    print()
+    print(result)
+    # Comch-E is the practical choice: stable and far better than TCP
+    e6 = result.find_row(channel="comch-e", functions=6)
+    tcp6 = result.find_row(channel="tcp", functions=6)
+    assert e6["mean_rtt_us"] < tcp6["mean_rtt_us"]

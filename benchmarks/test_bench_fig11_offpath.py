@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig. 11 (off-path vs on-path DNE)."""
+
+from repro.experiments import run_fig11
+
+
+def test_bench_fig11(once):
+    result = once(run_fig11,
+                  payload_sizes=(64, 512, 1024, 4096, 16384),
+                  concurrencies=(1, 4, 8, 16, 32, 64),
+                  duration_us=60_000)
+    print()
+    print(result)
+    off = result.find_row(panel="concurrency", mode="off-path", x=64)
+    on = result.find_row(panel="concurrency", mode="on-path", x=64)
+    assert off["rps"] > on["rps"]

@@ -1,0 +1,13 @@
+"""Bench: regenerate Fig. 12 (RDMA primitive selection)."""
+
+from repro.experiments import run_fig12
+
+
+def test_bench_fig12(once):
+    result = once(run_fig12, sizes=(64, 256, 1024, 4096),
+                  duration_us=40_000)
+    print()
+    print(result)
+    two = result.find_row(variant="two-sided", size_bytes=4096)
+    owdl = result.find_row(variant="owdl", size_bytes=4096)
+    assert owdl["mean_rtt_us"] > 1.8 * two["mean_rtt_us"]

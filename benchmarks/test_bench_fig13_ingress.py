@@ -1,0 +1,13 @@
+"""Bench: regenerate Fig. 13 (cluster ingress designs)."""
+
+from repro.experiments import run_fig13
+
+
+def test_bench_fig13(once):
+    result = once(run_fig13, client_counts=(1, 4, 16, 32, 64),
+                  duration_us=150_000)
+    print()
+    print(result)
+    palladium = result.find_row(ingress="palladium", clients=64)
+    k = result.find_row(ingress="k-ingress", clients=64)
+    assert palladium["rps"] > 8 * k["rps"]

@@ -1,0 +1,23 @@
+"""Bench: regenerate Fig. 14 (ingress horizontal scaling time series)."""
+
+from repro.experiments import run_fig14
+
+
+def test_bench_fig14_palladium(once):
+    result = once(run_fig14, "palladium", steps=10)
+    print()
+    print(result)
+    # the autoscaler actually scaled
+    assert any("scale events" in n for n in result.notes)
+
+
+def test_bench_fig14_k_ingress(once):
+    result = once(run_fig14, "k-ingress", steps=10, kernel_cores=8)
+    print()
+    print(result)
+
+
+def test_bench_fig14_f_ingress(once):
+    result = once(run_fig14, "f-ingress", steps=10)
+    print()
+    print(result)

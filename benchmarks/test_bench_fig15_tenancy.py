@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig. 15 (tenant bandwidth sharing, DWRR vs FCFS)."""
+
+from repro.experiments import run_fig15
+
+
+def test_bench_fig15(once):
+    results = once(run_fig15, time_scale=1 / 120.0)
+    print()
+    for result in results.values():
+        print(result)
+        print()
+    dwrr = results["dwrr"]
+    mid = [r for r in dwrr.rows if 40 <= r[0] <= 80]
+    t1 = sum(r[1] for r in mid) / len(mid)
+    t2 = sum(r[2] for r in mid) / len(mid)
+    assert 4.0 < t1 / t2 < 8.0  # ~6:1 weighted split

@@ -1,0 +1,12 @@
+"""Bench: regenerate Fig. 16 (Online Boutique RPS + utilization)."""
+
+from repro.experiments import run_fig16
+
+
+def test_bench_fig16(once):
+    result = once(run_fig16, client_counts=(20, 80), duration_us=120_000)
+    print()
+    print(result)
+    dne = result.find_row(chain="Home Query", config="palladium-dne", clients=80)
+    nightcore = result.find_row(chain="Home Query", config="nightcore", clients=80)
+    assert dne["rps"] > 5 * nightcore["rps"]

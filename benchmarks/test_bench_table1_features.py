@@ -1,0 +1,10 @@
+"""Bench: regenerate Table 1 (qualitative feature matrix)."""
+
+from repro.experiments import run_table1
+
+
+def test_bench_table1(once):
+    result = once(run_table1)
+    print()
+    print(result)
+    assert result.find_row(system="PALLADIUM")["multi-tenancy"] == "yes"

@@ -1,0 +1,13 @@
+"""Bench: regenerate Table 2 (mean chain latency per data plane)."""
+
+from repro.experiments import run_table2
+
+
+def test_bench_table2(once):
+    result = once(run_table2, client_counts=(20, 60, 80),
+                  chains=("Home Query",), duration_us=120_000)
+    print()
+    print(result)
+    dne = result.find_row(config="palladium-dne")
+    nightcore = result.find_row(config="nightcore")
+    assert nightcore["Home Query@20"] > 3 * dne["Home Query@20"]

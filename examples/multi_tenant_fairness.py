@@ -1,0 +1,33 @@
+#!/usr/bin/env python3
+"""Multi-tenant RDMA fairness at the DNE (§4.2, Fig. 15).
+
+Three tenants with weights 6:1:2 contend for a throttled DNE.  The DWRR
+scheduler hands out precise weighted shares; the FCFS baseline lets the
+bursty tenants starve Tenant-1.  Prints both time series side by side
+(the paper's 4-minute trace, compressed 240x).
+
+Run:  python examples/multi_tenant_fairness.py
+"""
+
+from repro.experiments.fig15_tenancy import run_tenancy
+
+
+def main():
+    runs = {
+        "FCFS DNE (no tenancy support)": run_tenancy("fcfs", time_scale=1 / 240),
+        "Palladium DNE (DWRR, weights 6:1:2)": run_tenancy("dwrr", time_scale=1 / 240),
+    }
+    for title, result in runs.items():
+        print(f"\n=== {title} ===")
+        print(f"{'t(s)':>6} {'tenant-1':>10} {'tenant-2':>10} {'tenant-3':>10}")
+        for row in result.rows:
+            if row[0] < 0:
+                continue
+            print(f"{row[0]:>6.0f} {row[1]:>10,} {row[2]:>10,} {row[3]:>10,}")
+    print("\nUnder DWRR the shares track the 6:1:2 weights exactly whenever "
+          "tenants are\nbacklogged; under FCFS the bursty tenants crowd out "
+          "Tenant-1 (Fig. 15).")
+
+
+if __name__ == "__main__":
+    main()

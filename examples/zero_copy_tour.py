@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""A tour of Palladium's zero-copy machinery, one layer at a time.
+
+Walks the exact control flow of §3.4-§3.5 using the library's low-level
+APIs directly (no platform assembly):
+
+1. a tenant's shared-memory agent creates the unified pool under a
+   DPDK file prefix;
+2. the pool is exported cross-processor (DOCA-mmap style) and the DNE
+   registers it with the RNIC;
+3. a buffer's ownership token is passed function -> engine -> RNIC ->
+   remote engine -> remote function, with every stale access rejected;
+4. the same transfer is attempted with one-sided RDMA against an
+   in-use buffer, demonstrating the data race the paper designs around.
+
+Run:  python examples/zero_copy_tour.py
+"""
+
+from repro.config import CostModel
+from repro.hw import build_cluster
+from repro.memory import (
+    CrossProcessorExporter,
+    OwnershipError,
+    TenantMemoryRegistry,
+    create_from_export,
+)
+from repro.rdma import ConnectionManager, Opcode, RdmaFabric, WorkRequest
+from repro.sim import Environment
+
+
+def main():
+    env = Environment()
+    cost = CostModel()
+    cluster = build_cluster(env, cost)
+    fabric = RdmaFabric(env, cluster, cost)
+    rnic0 = fabric.install_rnic("worker0")
+    rnic1 = fabric.install_rnic("worker1")
+
+    # -- 1. per-tenant pools under distinct file prefixes (§3.4.1) -----
+    registry0 = TenantMemoryRegistry(env)
+    registry1 = TenantMemoryRegistry(env)
+    agent0 = registry0.create_tenant_pool("tenant-a", 32, 4096)
+    agent1 = registry1.create_tenant_pool("tenant-a", 32, 4096,
+                                          file_prefix="palladium_a_w1")
+    print(f"pool on worker0: {agent0.pool.name}, "
+          f"{agent0.pool.hugepages} hugepage(s)")
+
+    # another tenant cannot attach to this prefix:
+    try:
+        registry0.attach(agent0.file_prefix, "tenant-b")
+    except PermissionError as exc:
+        print(f"isolation: {exc}")
+
+    # -- 2. cross-processor export + RNIC registration (§3.4.2) --------
+    for agent, rnic in ((agent0, rnic0), (agent1, rnic1)):
+        exporter = CrossProcessorExporter(agent.pool).export_pci().export_rdma()
+        remote_map = create_from_export(exporter.descriptor())
+        rnic.register_pool(agent.pool, remote_map)
+    print("pools exported to the DPUs and registered with both RNICs")
+
+    # -- 3. token-passing zero-copy transfer (§3.5.1) -------------------
+    cm = ConnectionManager(env, fabric, "worker0", cost)
+
+    def transfer():
+        yield from cm.warm_up("worker1", "tenant-a", 1)
+        qp = yield from cm.get_connection("worker1", "tenant-a")
+
+        # receiver posts a buffer (ownership: engine -> RNIC)
+        recv_buf = agent1.pool.get("dne:worker1")
+        rnic1.post_recv("tenant-a", recv_buf, "dne:worker1")
+
+        # sender function fills a buffer, hands the token to its DNE
+        buf = agent0.pool.get("fn:producer")
+        buf.write("fn:producer", "the-payload", 11)
+        buf.transfer("fn:producer", "dne:worker0")
+        try:
+            buf.write("fn:producer", "tamper!", 7)
+        except OwnershipError as exc:
+            print(f"token passing: {exc}")
+
+        # two-sided send: RNIC DMAs into the posted remote buffer
+        wr = WorkRequest(opcode=Opcode.SEND, buffer=buf, length=11,
+                         meta={"dst": "fn:consumer"}, signaled=False)
+        t0 = env.now
+        yield from rnic0.execute(qp, wr)
+        completion = rnic1.cq.try_get()
+        payload = completion.buffer.read(f"rnic:worker1")
+        print(f"two-sided SEND delivered {payload!r} in {env.now - t0:.1f} us "
+              f"(no software copy)")
+
+        # -- 4. the one-sided hazard (§2.1) ------------------------------
+        victim = agent1.pool.get("fn:busy-function")
+        victim.write("fn:busy-function", "in-use data", 11)
+        wr2 = WorkRequest(opcode=Opcode.WRITE, buffer=buf, length=11,
+                          remote_buffer=victim, signaled=False)
+        buf.transfer("dne:worker0", "dne:worker0")  # still engine-owned
+        yield from rnic0.execute(qp, wr2)
+        print(f"one-sided WRITE overwrote an in-use buffer "
+              f"(victim now holds {victim.payload!r}); "
+              f"races detected by the fabric: {rnic1.potential_races}")
+
+    env.process(transfer())
+    env.run()
+
+
+if __name__ == "__main__":
+    main()

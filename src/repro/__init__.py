@@ -1,0 +1,62 @@
+"""Palladium reproduction: a DPU-enabled multi-tenant serverless data plane
+over a simulated zero-copy multi-node RDMA fabric.
+
+Reproduces Qi et al., *Palladium* (SIGCOMM 2025) as a discrete-event
+simulation calibrated against the paper's microbenchmarks.  See
+DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every figure and table.
+
+Quick start::
+
+    from repro import Environment, ServerlessPlatform, Tenant, FunctionSpec
+
+    env = Environment()
+    plat = ServerlessPlatform(env)           # Palladium DNE data plane
+    plat.add_tenant(Tenant("demo"))
+    plat.deploy(FunctionSpec("server", "demo"), "worker1")
+    plat.deploy(FunctionSpec("client", "demo"), "worker0")
+    plat.start()
+"""
+
+from .config import (
+    DEFAULT_COST_MODEL,
+    MSEC,
+    SEC,
+    USEC,
+    ClusterSpec,
+    CostModel,
+    NodeSpec,
+    cost_model_overrides,
+)
+from .platform import (
+    ChainSpec,
+    FunctionContext,
+    FunctionInstance,
+    FunctionSpec,
+    Message,
+    ServerlessPlatform,
+    Tenant,
+)
+from .sim import Environment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ChainSpec",
+    "ClusterSpec",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "Environment",
+    "FunctionContext",
+    "FunctionInstance",
+    "FunctionSpec",
+    "MSEC",
+    "Message",
+    "NodeSpec",
+    "SEC",
+    "ServerlessPlatform",
+    "Tenant",
+    "USEC",
+    "cost_model_overrides",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""Baseline data planes: SPRIGHT, NightCore, FUYAO, and Palladium variants."""
+
+from .builders import (
+    build_cne,
+    build_dne,
+    build_dne_fcfs,
+    build_dne_onpath,
+    build_fuyao,
+    build_spright,
+)
+from .fuyao import FuyaoEngine
+from .nightcore import NIGHTCORE_IPC_US, nightcore_engine_builder, nightcore_ipc_us
+from .spright import SprightEngine
+
+__all__ = [
+    "FuyaoEngine",
+    "NIGHTCORE_IPC_US",
+    "SprightEngine",
+    "build_cne",
+    "build_dne",
+    "build_dne_fcfs",
+    "build_dne_onpath",
+    "build_fuyao",
+    "build_spright",
+    "nightcore_engine_builder",
+    "nightcore_ipc_us",
+]

@@ -1,0 +1,95 @@
+"""Engine builders: one per evaluated data-plane configuration (§4.3).
+
+Each builder has the :data:`~repro.platform.cluster.EngineBuilder`
+signature and is handed to :class:`~repro.platform.ServerlessPlatform`.
+The six configurations of Fig. 16 / Table 2:
+
+====================  ============================================
+Palladium (DNE)       ``build_dne`` — DPU engine, Comch-E, DWRR
+Palladium (CNE)       ``build_cne`` — host engine, SK_MSG, DWRR
+SPRIGHT               ``build_spright`` — kernel TCP inter-node
+FUYAO (-K / -F)       ``build_fuyao`` — one-sided RDMA + copy
+NightCore             ``nightcore_engine_builder`` — single node
+====================  ============================================
+
+``build_dne_onpath`` is the Fig. 11 ablation (payloads staged through
+the SoC DMA engine instead of cross-processor shared memory).
+"""
+
+from __future__ import annotations
+
+from ..config import CostModel
+from ..dne import (
+    ComchE,
+    CpuNetworkEngine,
+    DpuNetworkEngine,
+    DwrrScheduler,
+    FcfsScheduler,
+    NetworkEngine,
+    SkMsgChannel,
+)
+from ..hw import Node
+from ..rdma import RdmaFabric
+from ..sim import Environment
+
+from .fuyao import FuyaoEngine
+from .spright import SprightEngine
+
+__all__ = [
+    "build_dne",
+    "build_dne_fcfs",
+    "build_dne_onpath",
+    "build_cne",
+    "build_spright",
+    "build_fuyao",
+]
+
+
+def build_dne(env: Environment, node: Node, fabric: RdmaFabric,
+              cost: CostModel) -> NetworkEngine:
+    """Palladium (DNE): off-path DPU engine, Comch-E, DWRR."""
+    channel = ComchE(env, cost, name=f"comch:{node.name}")
+    return DpuNetworkEngine(env, node, fabric, cost, channel,
+                            scheduler=DwrrScheduler(), name=f"dne:{node.name}")
+
+
+def build_dne_fcfs(env: Environment, node: Node, fabric: RdmaFabric,
+                   cost: CostModel) -> NetworkEngine:
+    """The Fig. 15 baseline: identical DNE with an FCFS scheduler."""
+    channel = ComchE(env, cost, name=f"comch:{node.name}")
+    return DpuNetworkEngine(env, node, fabric, cost, channel,
+                            scheduler=FcfsScheduler(), name=f"dne:{node.name}")
+
+
+def build_dne_onpath(env: Environment, node: Node, fabric: RdmaFabric,
+                     cost: CostModel) -> NetworkEngine:
+    """The Fig. 11 ablation: on-path DNE staging data via SoC DMA."""
+    channel = ComchE(env, cost, name=f"comch:{node.name}")
+    return DpuNetworkEngine(env, node, fabric, cost, channel,
+                            scheduler=DwrrScheduler(),
+                            mode=NetworkEngine.MODE_ON_PATH,
+                            name=f"dne-onpath:{node.name}")
+
+
+def build_cne(env: Environment, node: Node, fabric: RdmaFabric,
+              cost: CostModel) -> NetworkEngine:
+    """Palladium (CNE): the engine on a host core, SK_MSG IPC."""
+    channel = SkMsgChannel(env, cost, name=f"skmsg-chan:{node.name}")
+    return CpuNetworkEngine(env, node, fabric, cost, channel,
+                            scheduler=DwrrScheduler(), name=f"cne:{node.name}")
+
+
+def build_spright(env: Environment, node: Node, fabric: RdmaFabric,
+                  cost: CostModel) -> NetworkEngine:
+    """SPRIGHT: shared memory intra-node, kernel TCP inter-node."""
+    channel = SkMsgChannel(env, cost, name=f"skmsg-chan:{node.name}")
+    return SprightEngine(env, node, fabric, cost, channel,
+                         name=f"spright:{node.name}")
+
+
+def build_fuyao(env: Environment, node: Node, fabric: RdmaFabric,
+                cost: CostModel) -> NetworkEngine:
+    """FUYAO: one-sided RDMA writes with receiver-side copy + polling."""
+    channel = SkMsgChannel(env, cost, name=f"skmsg-chan:{node.name}")
+    return FuyaoEngine(env, node, fabric, cost, channel,
+                       name=f"fuyao:{node.name}")

@@ -1,0 +1,195 @@
+"""FUYAO baseline data plane (Liu et al., ASPLOS'24).
+
+FUYAO moves inter-node data with **one-sided RDMA writes** into a
+dedicated RDMA-only memory pool on the receiver, avoiding data races by
+isolating that pool from local shared-memory processing — at the price
+of (a) a receiver-side copy from the RDMA pool into the tenant's local
+pool (Fig. 2 (2)) and (b) a continuously polling engine that "takes up
+one core each on every worker node" (§4.3.1).
+
+Reproduced mechanics:
+
+* each engine owns a per-tenant RDMA-only slot pool, registered with
+  the RNIC; peers acquire slot *credits* at warm-up (ring-style flow
+  control);
+* TX: take a credit, post a one-sided WRITE into the remote slot;
+* arrival detection is FaRM-style memory polling — the receiving
+  engine notices the write one poll interval later, copies the payload
+  into the destination tenant's pool, hands the descriptor to the
+  function, and returns the credit to the sender.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..dne.engine import NetworkEngine
+from ..memory import BufferDescriptor, MemoryPool, PoolExhausted, RemoteMap
+from ..rdma import Completion, Opcode, WorkRequest
+from ..sim import Store
+
+__all__ = ["FuyaoEngine"]
+
+
+class FuyaoEngine(NetworkEngine):
+    """FUYAO's polling engine: one-sided writes + receiver-side copy."""
+
+    #: slots granted to each (peer, tenant) pair
+    SLOTS_PER_PEER = 32
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        #: tenant -> dedicated RDMA-only pool on this node
+        self.rdma_pools: Dict[str, MemoryPool] = {}
+        #: (remote node, tenant) -> Store of credit slot buffers
+        self._credits: Dict[Tuple[str, str], Store] = {}
+        #: whether the receiver-side copy hits cache or main memory
+        self.copy_cached = True
+
+    # -- engine placement: a pinned, always-polling host core ------------------
+    def _allocate_core(self):
+        return self.node.cpu.allocate_pinned(f"{self.name}-poller")
+
+    def _control_pool(self):
+        return self.node.cpu
+
+    def _ingest_cost_us(self) -> float:
+        return self.cost.sk_msg_interrupt_us + self.channel.ingest_cost_us()
+
+    def _egress_cost_us(self) -> float:
+        return self.cost.sk_msg_us
+
+    # -- tenant setup: create and register the dedicated RDMA pool ----------------
+    def setup_tenant(self, tenant: str, pool: MemoryPool,
+                     remote_map: Optional[RemoteMap] = None,
+                     weight: float = 1.0, recv_buffers: int = 64) -> None:
+        super().setup_tenant(tenant, pool, remote_map, weight, recv_buffers)
+        rdma_pool = MemoryPool(
+            self.env, tenant, self.SLOTS_PER_PEER * 4, pool.buffer_bytes,
+            name=f"rdmapool:{self.node.name}:{tenant}",
+        )
+        self.rdma_pools[tenant] = rdma_pool
+        self.rnic.register_pool(rdma_pool)
+
+    def _core_thread(self, warm_peers):
+        """Acquire slot credits from each peer's RDMA pool (ring setup)."""
+        yield self.env.timeout(self.cost.rc_setup_us)  # connection setup
+        for remote_node, tenant in warm_peers:
+            yield from self.conn_mgr.warm_up(remote_node, tenant, 1)
+            peer = self.peers.get(remote_node)
+            if peer is None or tenant not in peer.rdma_pools:
+                continue
+            credits = Store(self.env, name=f"credits:{self.node.name}->{remote_node}:{tenant}")
+            for _ in range(self.SLOTS_PER_PEER):
+                try:
+                    slot = peer.rdma_pools[tenant].get(f"slots:{self.node.name}")
+                except PoolExhausted:
+                    break
+                credits.put(slot)
+            self._credits[(remote_node, tenant)] = credits
+
+    # -- TX: one-sided write into a remote slot -----------------------------------------
+    def _handle_tx(self, tenant: str, src_fn: str, descriptor: BufferDescriptor):
+        cost = self.cost
+        buffer = descriptor.buffer
+        buffer.check_owner(self.agent)
+        dst_fn = descriptor.meta["dst"]
+        dst_node = self.routes.node_for(dst_fn)
+        peer = self.peers.get(dst_node)
+        yield from self._run(self._ingest_cost_us() + cost.fuyao_tx_us)
+        credits = self._credits.get((dst_node, tenant))
+        if credits is None:
+            raise RuntimeError(
+                f"{self.name}: no slot ring to {dst_node} for tenant {tenant!r}"
+            )
+        slot = yield credits.get()  # ring flow control
+        qp = yield from self.conn_mgr.get_connection(dst_node, tenant)
+        wr = WorkRequest(
+            opcode=Opcode.WRITE,
+            buffer=buffer,
+            length=descriptor.length,
+            remote_buffer=slot,
+            meta={**descriptor.meta, "expected_owner": f"slots:{self.node.name}"},
+        )
+        write_proc = self.rnic.post_send(qp, wr)
+        self.stats.tx_messages += 1
+        self.stats.tx_bytes += descriptor.length
+        self.stats.tenant_meter(tenant).record(self.env.now)
+
+        meta = dict(descriptor.meta)
+        length = descriptor.length
+        this = self
+
+        def _notify():
+            # Wait for the write to land, then for the receiver's
+            # polling loop to notice it (FaRM-style poll interval).
+            yield write_proc
+            yield this.env.timeout(this.cost.onesided_poll_interval_us)
+            peer.inject_event(
+                "onesided",
+                {"slot": slot, "meta": meta, "length": length,
+                 "tenant": tenant, "origin": this.node.name},
+            )
+
+        self.env.process(_notify(), name=f"{self.name}-notify")
+
+    # -- CQ: recycle source buffers on write completion -------------------------------------
+    def _handle_cqe(self, completion: Completion):
+        if completion.opcode == Opcode.WRITE:
+            yield from self._run(self.cost.mempool_op_us)
+            buffer = completion.buffer
+            if buffer is not None and buffer.pool is not None:
+                buffer.pool.put(buffer, self.agent)
+                self.stats.recycled += 1
+            return
+        yield from super()._handle_cqe(completion)
+
+    # -- RX: poll detection, copy out of the RDMA pool, deliver ---------------------------------
+    def _handle_event(self, event):
+        kind, payload = event
+        if kind == "onesided":
+            yield from self._handle_onesided(payload)
+        else:
+            yield from super()._handle_event(event)
+
+    def _handle_onesided(self, info: Dict):
+        cost = self.cost
+        slot = info["slot"]
+        tenant = info["tenant"]
+        length = info["length"]
+        # Poll detection + the receiver-side copy out of the dedicated
+        # RDMA pool into the tenant's local pool (the extra copy of
+        # Fig. 2 (2)), executed on the pinned polling core.
+        yield from self._run(
+            cost.fuyao_rx_us + cost.copy_time(length, cached=self.copy_cached)
+        )
+        state = self._tenants.get(tenant)
+        if state is None:
+            return
+        try:
+            buffer = state.pool.get(self.agent)
+        except PoolExhausted:
+            buffer = yield from state.pool.get_wait(self.agent)
+        buffer.write(self.agent, slot.payload, length)
+        self.stats.rx_messages += 1
+        self.stats.rx_bytes += length
+        # Return the slot credit to the sender (piggybacked control
+        # message: one fabric hop later the sender may reuse the slot).
+        origin = info["origin"]
+        peer = self.peers.get(origin)
+
+        def _return_credit():
+            yield self.env.timeout(cost.rdma_base_latency_us)
+            credits = peer._credits.get((self.node.name, tenant))
+            if credits is not None:
+                credits.put(slot)
+
+        self.env.process(_return_credit(), name=f"{self.name}-credit")
+        dst_fn = info["meta"].get("dst")
+        if dst_fn is None or dst_fn not in self.channel.endpoints:
+            buffer.pool.put(buffer, self.agent)
+            return
+        buffer.transfer(self.agent, f"fn:{dst_fn}")
+        descriptor = BufferDescriptor(buffer=buffer, length=length,
+                                      meta=dict(info["meta"]))
+        self.channel.dne_send(dst_fn, descriptor)

@@ -1,0 +1,34 @@
+"""NightCore baseline data plane (Jia & Witchel, ASPLOS'21).
+
+NightCore accelerates intra-node function interaction with low-latency
+shared-memory message queues, but "lacks support for inter-function
+communication across nodes within a function chain" (§4.3) — the paper
+therefore runs all of its functions on a single node, fronted by
+NightCore's built-in kernel-based gateway.
+
+In this reproduction NightCore is a platform configuration, not an
+engine: no inter-node engine is installed (deploying across nodes
+raises), the intra-node IPC uses NightCore's message-queue cost, and
+the experiment wires a kernel ingress plus kernel worker-side adapter.
+"""
+
+from __future__ import annotations
+
+from ..config import CostModel
+
+__all__ = ["NIGHTCORE_IPC_US", "nightcore_engine_builder", "nightcore_ipc_us"]
+
+#: NightCore's shared-memory message queue + its engine's dispatch cost
+#: per descriptor: cheap, but above raw SK_MSG redirection because each
+#: message passes through the NightCore runtime's dispatcher thread.
+NIGHTCORE_IPC_US = 1.8
+
+
+def nightcore_engine_builder(env, node, fabric, cost: CostModel):
+    """NightCore installs no inter-node engine."""
+    return None
+
+
+def nightcore_ipc_us(cost: CostModel) -> float:
+    """Intra-node IPC cost override for the NightCore configuration."""
+    return NIGHTCORE_IPC_US

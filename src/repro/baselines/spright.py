@@ -1,0 +1,132 @@
+"""SPRIGHT baseline data plane (Qi et al., SIGCOMM'22).
+
+SPRIGHT pioneered eBPF/SK_MSG shared-memory processing *within* a node,
+but its inter-node data path "relies on the kernel protocol stack"
+(§4.3).  We reproduce exactly that wiring:
+
+* intra-node: identical descriptor-over-SK_MSG path as Palladium
+  (SPRIGHT is where Palladium's intra-node design comes from);
+* inter-node: the node-wide engine serializes the payload out of the
+  shared-memory pool into a kernel TCP socket (a real data copy), the
+  kernel stack processes it on both ends, and the receiving engine
+  copies it back into its local pool;
+* the engine itself is event-driven on the shared CPU cores
+  (interrupt-based, not a pinned poller).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..dne.engine import NetworkEngine
+from ..memory import BufferDescriptor, PoolExhausted
+from ..rdma import Completion
+
+__all__ = ["SprightEngine"]
+
+#: TCP/IP framing on the inter-node hop
+TCP_FRAME_OVERHEAD = 66
+
+
+class SprightEngine(NetworkEngine):
+    """SPRIGHT's node-wide forwarder: shared memory in, kernel TCP out."""
+
+    def _allocate_core(self):
+        # Event-driven on the shared host cores: no pinned poller.
+        return self.node.cpu
+
+    def _control_pool(self):
+        return self.node.cpu
+
+    def _ingest_cost_us(self) -> float:
+        # SK_MSG delivery into the engine is interrupt-driven.
+        return self.cost.sk_msg_interrupt_us + self.channel.ingest_cost_us()
+
+    def _egress_cost_us(self) -> float:
+        return self.cost.sk_msg_us
+
+    def _core_thread(self, warm_peers):
+        """No RC connections or receive buffers to manage; idle."""
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    # -- TX: copy out of shared memory into the kernel socket -------------------
+    def _handle_tx(self, tenant: str, src_fn: str, descriptor: BufferDescriptor):
+        cost = self.cost
+        buffer = descriptor.buffer
+        buffer.check_owner(self.agent)
+        dst_fn = descriptor.meta["dst"]
+        dst_node = self.routes.node_for(dst_fn)
+        peer = self.peers.get(dst_node)
+        if peer is None:
+            raise RuntimeError(f"{self.name}: no peer engine on {dst_node}")
+        # Ingest + socket serialization: one real copy plus kernel
+        # protocol processing, all scheduled on shared cores.
+        yield from self._run(
+            self._ingest_cost_us()
+            + cost.copy_time(descriptor.length)
+            + cost.kernel_tcp_us
+        )
+        payload = {
+            "meta": dict(descriptor.meta),
+            "payload": buffer.payload,
+            "length": descriptor.length,
+            "tenant": tenant,
+        }
+        # Source buffer is free as soon as it is serialized to the socket.
+        buffer.pool.put(buffer, self.agent)
+        self.stats.recycled += 1
+        link = self.fabric.link(self.node.name, dst_node)
+        self.stats.tx_messages += 1
+        self.stats.tx_bytes += descriptor.length
+        self.stats.tenant_meter(tenant).record(self.env.now)
+
+        def _transit():
+            yield from link.transmit(descriptor.length + TCP_FRAME_OVERHEAD)
+            # Receive-side kernel TCP + softirq processing happens in
+            # interrupt context on the peer's shared cores, before the
+            # engine's event loop ever sees the message.
+            yield from peer.node.cpu.execute(
+                cost.kernel_tcp_us + cost.kernel_irq_us
+            )
+            peer.inject_event("tcp", payload)
+
+        self.env.process(_transit(), name=f"{self.name}-tcp-tx")
+
+    # -- RX: kernel receive + copy back into the local pool ------------------------
+    def _handle_event(self, event):
+        kind, payload = event
+        if kind == "tcp":
+            yield from self._handle_tcp_rx(payload)
+        else:
+            yield from super()._handle_event(event)
+
+    def _handle_tcp_rx(self, payload: Dict):
+        cost = self.cost
+        # Socket read + copy into the local pool (the kernel/softirq
+        # cost was already paid in interrupt context).
+        yield from self._run(
+            cost.sk_msg_interrupt_us
+            + cost.copy_time(payload["length"])
+            + cost.dne_rx_proc_us
+        )
+        tenant = payload["tenant"]
+        state = self._tenants.get(tenant)
+        if state is None:
+            return
+        try:
+            buffer = state.pool.get(self.agent)
+        except PoolExhausted:
+            buffer = yield from state.pool.get_wait(self.agent)
+        buffer.write(self.agent, payload["payload"], payload["length"])
+        dst_fn = payload["meta"].get("dst")
+        self.stats.rx_messages += 1
+        self.stats.rx_bytes += payload["length"]
+        if dst_fn is None or dst_fn not in self.channel.endpoints:
+            buffer.pool.put(buffer, self.agent)
+            return
+        buffer.transfer(self.agent, f"fn:{dst_fn}")
+        descriptor = BufferDescriptor(
+            buffer=buffer, length=payload["length"], meta=dict(payload["meta"])
+        )
+        self.channel.dne_send(dst_fn, descriptor)

@@ -1,0 +1,32 @@
+"""The DPU Network Engine: Comch channels, routing, scheduling, the engine."""
+
+from .comch import (
+    ComchE,
+    ComchEndpoint,
+    ComchP,
+    DescriptorChannel,
+    SkMsgChannel,
+    TcpChannel,
+)
+from .engine import CpuNetworkEngine, DpuNetworkEngine, EngineStats, NetworkEngine
+from .routing import InterNodeRoutes, IntraNodeRoutes, RouteError
+from .scheduler import DwrrScheduler, FcfsScheduler, TenantScheduler
+
+__all__ = [
+    "ComchE",
+    "ComchEndpoint",
+    "ComchP",
+    "CpuNetworkEngine",
+    "DescriptorChannel",
+    "DpuNetworkEngine",
+    "DwrrScheduler",
+    "EngineStats",
+    "FcfsScheduler",
+    "InterNodeRoutes",
+    "IntraNodeRoutes",
+    "NetworkEngine",
+    "RouteError",
+    "SkMsgChannel",
+    "TcpChannel",
+    "TenantScheduler",
+]

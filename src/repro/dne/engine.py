@@ -1,0 +1,452 @@
+"""The DPU Network Engine (DNE) and its CPU-hosted variant (CNE).
+
+The DNE (§3.2) is a node-wide reverse proxy that owns the node's RDMA
+resources on behalf of untrusted tenant functions:
+
+* A **core thread** (control plane) imports the cross-processor memory
+  maps, registers tenant pools with the RNIC, pre-establishes RC
+  connections, replenishes shared receive queues in proportion to
+  consumed completions (red arrows of Fig. 7), and demotes idle QPs to
+  shadow state.
+* One **worker thread** executes a non-blocking run-to-completion loop
+  pinned to a (wimpy) DPU core.  Each iteration fully processes one
+  event — either a TX descriptor from a local function (routing lookup,
+  least-congested RC connection, WR post) or an RX completion (RBR
+  lookup, descriptor hand-off to the destination function's Comch
+  endpoint).  Tenant TX order is arbitrated by a pluggable scheduler
+  (DWRR for Palladium, FCFS for the baseline of Fig. 15).
+
+The engine runs in **off-path** mode by default: payloads move directly
+between host memory and the RNIC ("RNIC DMA at line rate"), the engine
+only touching 16-byte descriptors.  In **on-path** mode (the Fig. 11
+baseline) every payload is staged through DPU-local memory via the slow
+SoC DMA engine, which the run-to-completion loop must wait on — the
+source of the on-path collapse under concurrency.
+
+:class:`CpuNetworkEngine` (Palladium-CNE, §4.3) is the identical engine
+pinned to a *host* core, speaking SK_MSG to co-located functions
+instead of Comch; it pays interrupt-driven IPC costs that grow with
+concurrency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..config import CostModel
+from ..hw import Node, PinnedCore
+from ..memory import Buffer, BufferDescriptor, MemoryPool, PoolExhausted, RemoteMap
+from ..rdma import (
+    Completion,
+    ConnectionManager,
+    Opcode,
+    RdmaFabric,
+    WorkRequest,
+)
+from ..sim import Environment, Event, RateMeter, Store
+
+from .comch import DescriptorChannel
+from .routing import InterNodeRoutes, RouteError
+from .scheduler import DwrrScheduler, FcfsScheduler, TenantScheduler
+
+__all__ = ["NetworkEngine", "DpuNetworkEngine", "CpuNetworkEngine", "EngineStats"]
+
+
+class EngineStats:
+    """Counters and meters the experiments read off an engine."""
+
+    def __init__(self, bucket_us: float = 1_000_000.0):
+        self.tx_messages = 0
+        self.rx_messages = 0
+        self.recycled = 0
+        #: messages dropped (no route / destination vanished)
+        self.dropped = 0
+        self.tx_bytes = 0
+        self.rx_bytes = 0
+        #: per-tenant transmit completions (Fig. 15 time series)
+        self.tenant_tx: Dict[str, RateMeter] = {}
+        self.bucket_us = bucket_us
+
+    def tenant_meter(self, tenant: str) -> RateMeter:
+        if tenant not in self.tenant_tx:
+            self.tenant_tx[tenant] = RateMeter(tenant, bucket=self.bucket_us)
+        return self.tenant_tx[tenant]
+
+
+class _TenantState:
+    """Engine-side per-tenant bookkeeping."""
+
+    def __init__(self, pool: MemoryPool, remote_map: Optional[RemoteMap], weight: float,
+                 recv_buffers: int):
+        self.pool = pool
+        self.remote_map = remote_map
+        self.weight = weight
+        self.recv_buffers = recv_buffers
+
+
+class NetworkEngine:
+    """Run-to-completion network engine (base for DNE and CNE)."""
+
+    MODE_OFF_PATH = "off-path"
+    MODE_ON_PATH = "on-path"
+
+    def __init__(
+        self,
+        env: Environment,
+        node: Node,
+        fabric: RdmaFabric,
+        cost: CostModel,
+        channel: DescriptorChannel,
+        scheduler: Optional[TenantScheduler] = None,
+        mode: str = MODE_OFF_PATH,
+        name: str = "",
+        replenish_period_us: float = 50.0,
+        stats_bucket_us: float = 1_000_000.0,
+    ):
+        if mode not in (self.MODE_OFF_PATH, self.MODE_ON_PATH):
+            raise ValueError(f"unknown engine mode {mode!r}")
+        self.env = env
+        self.node = node
+        self.fabric = fabric
+        self.cost = cost
+        self.channel = channel
+        self.scheduler = scheduler if scheduler is not None else FcfsScheduler()
+        self.mode = mode
+        self.name = name or f"engine:{node.name}"
+        self.agent = self.name
+        self.replenish_period_us = replenish_period_us
+
+        self.rnic = fabric.install_rnic(node.name)
+        self.conn_mgr = ConnectionManager(env, fabric, node.name, cost)
+        self.routes = InterNodeRoutes(node.name)
+        self.stats = EngineStats(bucket_us=stats_bucket_us)
+
+        self._tenants: Dict[str, _TenantState] = {}
+        #: receive buffers owed to each tenant's shared RQ when the
+        #: pool was empty at replenish time; recycled buffers repay this
+        #: debt *before* returning to the pool, so RQ credits can never
+        #: be starved by waiting senders (credit-deadlock avoidance).
+        self._recv_deficit: Dict[str, int] = {}
+        #: sibling engines by node name (used by baseline engines whose
+        #: transport is not RDMA two-sided; populated by the platform)
+        self.peers: Dict[str, "NetworkEngine"] = {}
+        self._rx_inbox: Store = Store(env, name=f"{self.name}-rx")
+        self._wakeup: Optional[Event] = None
+        self._running = False
+        self.core: Optional[PinnedCore] = None
+        #: host-core-equivalent us of engine work executed (CPU
+        #: accounting for Fig. 16 (4)-(6))
+        self.busy_us = 0.0
+
+    # -- subclass hooks -----------------------------------------------------
+    def _allocate_core(self) -> PinnedCore:
+        raise NotImplementedError
+
+    def _control_pool(self):
+        """Core pool the (lightweight) core thread is scheduled on."""
+        raise NotImplementedError
+
+    def _ingest_cost_us(self) -> float:
+        """Host-core-equivalent cost to ingest one TX descriptor."""
+        return self.channel.ingest_cost_us()
+
+    def _egress_cost_us(self) -> float:
+        """Host-core-equivalent cost to push one RX descriptor out."""
+        return self.channel.ingest_cost_us()
+
+    # -- configuration --------------------------------------------------------
+    def setup_tenant(
+        self,
+        tenant: str,
+        pool: MemoryPool,
+        remote_map: Optional[RemoteMap] = None,
+        weight: float = 1.0,
+        recv_buffers: int = 64,
+    ) -> None:
+        """Register a tenant: its pool, RNIC MR, weight, RQ depth."""
+        if tenant in self._tenants:
+            raise ValueError(f"tenant {tenant!r} already configured on {self.name}")
+        self.rnic.register_pool(pool, remote_map)
+        self._tenants[tenant] = _TenantState(pool, remote_map, weight, recv_buffers)
+        if isinstance(self.scheduler, DwrrScheduler):
+            self.scheduler.set_weight(tenant, weight)
+
+    def add_route(self, fn_id: str, node: str) -> None:
+        """Install an inter-node route (driven by the coordinator)."""
+        self.routes.set_route(fn_id, node)
+
+    # -- lifecycle ----------------------------------------------------------------
+    def start(self, warm_peers: Optional[List[Tuple[str, str]]] = None) -> None:
+        """Bring the engine up: pin the worker core, start all threads.
+
+        ``warm_peers`` is a list of ``(remote_node, tenant)`` pairs
+        whose RC connection pools are pre-established by the core
+        thread before traffic flows (§3.3).
+        """
+        if self._running:
+            raise RuntimeError(f"{self.name} already started")
+        self._running = True
+        self.core = self._allocate_core()
+        self.env.process(self._core_thread(warm_peers or []), name=f"{self.name}-core")
+        self.env.process(self._cq_poller(), name=f"{self.name}-cq")
+        self.env.process(self._channel_poller(), name=f"{self.name}-chan")
+        self.env.process(self._worker_loop(), name=f"{self.name}-loop")
+
+    def stop(self) -> None:
+        self._running = False
+        self._notify()
+
+    def _run(self, host_us: float):
+        """Generator: engine work on its core, with busy accounting."""
+        self.busy_us += host_us * self.core.factor
+        yield from self.core.run(host_us)
+
+    def engine_cpu_pct(self, since: float = 0.0,
+                       baseline_busy_us: float = 0.0) -> float:
+        """Engine core usage, % of one core.
+
+        Pinned (busy-polling) engines occupy their core fully — the
+        100 % the paper reports for the DNE and FUYAO; event-driven
+        engines report actual busy time over the window (pass the
+        ``busy_us`` snapshot taken at ``since``).
+        """
+        elapsed = self.env.now - since
+        if elapsed <= 0:
+            return 0.0
+        if isinstance(self.core, PinnedCore):
+            return 100.0
+        return 100.0 * (self.busy_us - baseline_busy_us) / elapsed
+
+    # -- wakeup plumbing -------------------------------------------------------------
+    def _notify(self) -> None:
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+
+    # -- background pollers ------------------------------------------------------------
+    def _cq_poller(self):
+        """Moves CQEs into the worker loop's event queue."""
+        while self._running:
+            completion = yield self.rnic.cq.get()
+            self._rx_inbox.put_nowait(("cqe", completion))
+            self._notify()
+
+    def _channel_poller(self):
+        """Moves function TX descriptors into the tenant scheduler."""
+        while self._running:
+            fn_id, descriptor = yield self.channel.server_inbox.get()
+            tenant = descriptor.meta.get("tenant", "default")
+            self.scheduler.enqueue(
+                tenant, (fn_id, descriptor), nbytes=max(1, descriptor.length)
+            )
+            self._notify()
+
+    def _core_thread(self, warm_peers: List[Tuple[str, str]]):
+        """Control plane: warm connections, replenish RQs, demote QPs."""
+        # Receive buffers first: arrivals must never find an empty RQ.
+        for tenant, state in self._tenants.items():
+            self._post_recv_buffers(tenant, state.recv_buffers)
+        # RC connection warm-up (off the critical path, in parallel).
+        for remote_node, tenant in warm_peers:
+            yield from self.conn_mgr.warm_up(remote_node, tenant)
+        while self._running:
+            yield self.env.timeout(self.replenish_period_us)
+            for tenant, state in self._tenants.items():
+                srq = self.rnic.srq(tenant)
+                consumed = srq.consumed_since_replenish
+                if consumed:
+                    srq.consumed_since_replenish = 0
+                    self._post_recv_buffers(tenant, consumed)
+            self.conn_mgr.deactivate_idle()
+
+    def _post_recv_buffers(self, tenant: str, count: int) -> None:
+        state = self._tenants[tenant]
+        posted = 0
+        for _ in range(count):
+            try:
+                buf = state.pool.get(self.agent)
+            except PoolExhausted:
+                break
+            self.rnic.post_recv(tenant, buf, self.agent)
+            posted += 1
+        if posted < count:
+            # The pool is drained by in-flight traffic: remember the
+            # shortfall and repay it straight from recycled buffers.
+            self._recv_deficit[tenant] = (
+                self._recv_deficit.get(tenant, 0) + count - posted
+            )
+
+    def _recycle(self, buffer, tenant: Optional[str]) -> None:
+        """Return a buffer: owed receive credits first, then the pool."""
+        if tenant is not None and self._recv_deficit.get(tenant, 0) > 0 \
+                and buffer.pool is self._tenants[tenant].pool:
+            self._recv_deficit[tenant] -= 1
+            self.rnic.post_recv(tenant, buffer, buffer.owner)
+        elif buffer.pool is not None:
+            buffer.pool.put(buffer, buffer.owner)
+
+    # -- the run-to-completion worker loop ------------------------------------------------
+    def _worker_loop(self):
+        """One event fully processed per iteration; RX before TX."""
+        while self._running:
+            event = self._rx_inbox.try_get()
+            if event is not None:
+                yield from self._handle_event(event)
+                continue
+            picked = self.scheduler.dequeue()
+            if picked is not None:
+                tenant, (fn_id, descriptor) = picked
+                yield from self._handle_tx(tenant, fn_id, descriptor)
+                continue
+            self._wakeup = self.env.event()
+            yield self._wakeup
+            self._wakeup = None
+
+    # -- TX stage (Fig. 7) --------------------------------------------------------
+    def _handle_tx(self, tenant: str, src_fn: str, descriptor: BufferDescriptor):
+        cost = self.cost
+        buffer = descriptor.buffer
+        buffer.check_owner(self.agent)
+        dst_fn = descriptor.meta["dst"]
+        # Ingest + routing + WR build, all on the engine's core.
+        yield from self._run(
+            self._ingest_cost_us() + cost.dne_tx_proc_us + cost.dwrr_decision_us
+        )
+        try:
+            dst_node = self.routes.node_for(dst_fn)
+        except RouteError:
+            # Scale-down race: the destination was withdrawn after the
+            # function posted.  Drop, recycle — never crash the loop.
+            self.stats.dropped += 1
+            self._recycle(buffer, tenant)
+            return
+        qp = yield from self.conn_mgr.get_connection(dst_node, tenant)
+        wr = WorkRequest(
+            opcode=Opcode.SEND,
+            buffer=buffer,
+            length=descriptor.length,
+            meta=dict(descriptor.meta),
+        )
+        if self.mode == self.MODE_ON_PATH:
+            # Stage the payload host -> DPU-local memory first.  The
+            # transfer queues on the (weak) SoC DMA engine; the engine
+            # loop moves on, but this message cannot hit the wire until
+            # its copy lands — the Fig. 11 on-path penalty.
+            def _staged_send():
+                yield from self.node.soc_dma.transfer(wr.length)
+                self.rnic.post_send(qp, wr)
+            self.env.process(_staged_send(), name=f"{self.name}-onpath-tx")
+        else:
+            self.rnic.post_send(qp, wr)
+        self.stats.tx_messages += 1
+        self.stats.tx_bytes += descriptor.length
+        self.stats.tenant_meter(tenant).record(self.env.now)
+
+    # -- RX stage (Fig. 7) -----------------------------------------------------------
+    def _handle_event(self, event):
+        """Dispatch one RX-side event; subclasses add event kinds."""
+        kind, payload = event
+        if kind == "cqe":
+            yield from self._handle_cqe(payload)
+        else:
+            raise ValueError(f"{self.name}: unknown engine event kind {kind!r}")
+
+    def inject_event(self, kind: str, payload) -> None:
+        """Queue an event for the worker loop (used by peer engines)."""
+        self._rx_inbox.put_nowait((kind, payload))
+        self._notify()
+
+    def _handle_cqe(self, completion: Completion):
+        cost = self.cost
+        if completion.is_recv:
+            yield from self._handle_recv(completion)
+        elif completion.opcode == Opcode.SEND:
+            # Send completed: tiny poll cost, recycle the source buffer.
+            yield from self._run(cost.mempool_op_us)
+            buffer = completion.buffer
+            if buffer is not None:
+                self._recycle(buffer, completion.tenant)
+                self.stats.recycled += 1
+        # other opcodes (one-sided) are not used by the Palladium engine
+
+    def _handle_recv(self, completion: Completion):
+        cost = self.cost
+        yield from self._run(cost.dne_rx_proc_us + self._egress_cost_us())
+        buffer = completion.buffer
+        if not completion.ok:
+            # Length error: reclaim the buffer and drop.
+            self.stats.dropped += 1
+            self._recycle(buffer, completion.tenant)
+            return
+        dst_fn = completion.meta.get("dst")
+        # RBR gave us the buffer; pass ownership along the token chain:
+        # RNIC -> engine -> destination function.
+        buffer.transfer(f"rnic:{self.node.name}", self.agent)
+        descriptor = BufferDescriptor(
+            buffer=buffer, length=completion.length, meta=dict(completion.meta)
+        )
+        self.stats.rx_messages += 1
+        self.stats.rx_bytes += completion.length
+        if dst_fn is None or dst_fn not in self.channel.endpoints:
+            # Destination vanished (scale-down race): recycle and drop.
+            self.stats.dropped += 1
+            self._recycle(buffer, completion.tenant)
+            return
+        buffer.transfer(self.agent, f"fn:{dst_fn}")
+        if self.mode == self.MODE_ON_PATH:
+            # Data landed in DPU-local memory: it must cross the SoC DMA
+            # to the host pool before the function can see it.
+            def _staged_deliver():
+                yield from self.node.soc_dma.transfer(descriptor.length)
+                self.channel.dne_send(dst_fn, descriptor)
+            self.env.process(_staged_deliver(), name=f"{self.name}-onpath-rx")
+        else:
+            self.channel.dne_send(dst_fn, descriptor)
+
+
+class DpuNetworkEngine(NetworkEngine):
+    """Palladium's DNE: the engine pinned to a wimpy DPU core."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        if self.node.dpu is None:
+            raise ValueError(f"node {self.node.name} has no DPU for a DNE")
+
+    def _allocate_core(self) -> PinnedCore:
+        return self.node.dpu.allocate_pinned(f"{self.name}-worker")
+
+    def _control_pool(self):
+        return self.node.dpu
+
+
+class CpuNetworkEngine(NetworkEngine):
+    """Palladium-CNE: same engine on a host core, SK_MSG IPC (§4.3).
+
+    The interrupt-driven SK_MSG path adds per-message cost that grows
+    with backlog — the receive-livelock effect that lets the DNE pull
+    ahead beyond ~20 clients despite its slower core.
+    """
+
+    def _allocate_core(self) -> PinnedCore:
+        return self.node.cpu.allocate_pinned(f"{self.name}-worker")
+
+    def _control_pool(self):
+        return self.node.cpu
+
+    def _interrupt_penalty_us(self) -> float:
+        backlog = len(self._rx_inbox.items) + self.scheduler.pending()
+        return min(
+            2.0, self.cost.cne_concurrency_penalty_us * backlog
+        )
+
+    def _ingest_cost_us(self) -> float:
+        return (
+            self.cost.sk_msg_interrupt_us
+            + self.channel.ingest_cost_us()
+            + self._interrupt_penalty_us()
+        )
+
+    def _egress_cost_us(self) -> float:
+        return (
+            self.cost.sk_msg_us
+            + self._interrupt_penalty_us()
+        )

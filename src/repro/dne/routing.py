@@ -1,0 +1,83 @@
+"""Routing state: intra-node and inter-node tables (§3.5.5).
+
+* The **intra-node routing table** lives in the unified memory pool on
+  the host and is read-only for functions: it answers "is this
+  destination function local, and which socket do I redirect to?".
+* The **inter-node routing table** lives on the DPU and maps remote
+  function ids to their hosting node, letting the DNE pick the right
+  RC connection.
+
+A control-plane coordinator (CNI-like) watches deployment events and
+pushes updates to both tables; versioning lets tests assert that stale
+routes are replaced, not accumulated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = ["IntraNodeRoutes", "InterNodeRoutes", "RouteError"]
+
+
+class RouteError(LookupError):
+    """No route exists for the requested function."""
+
+
+class IntraNodeRoutes:
+    """Host-side: function id -> present-on-this-node marker."""
+
+    def __init__(self, node: str):
+        self.node = node
+        self._local: Dict[str, str] = {}  # fn id -> socket key
+        self.version = 0
+
+    def add_function(self, fn_id: str, socket_key: Optional[str] = None) -> None:
+        self._local[fn_id] = socket_key or fn_id
+        self.version += 1
+
+    def remove_function(self, fn_id: str) -> None:
+        if self._local.pop(fn_id, None) is not None:
+            self.version += 1
+
+    def is_local(self, fn_id: str) -> bool:
+        return fn_id in self._local
+
+    def socket_for(self, fn_id: str) -> str:
+        try:
+            return self._local[fn_id]
+        except KeyError:
+            raise RouteError(f"{fn_id!r} is not local to {self.node}") from None
+
+    @property
+    def functions(self) -> List[str]:
+        return list(self._local)
+
+
+class InterNodeRoutes:
+    """DPU-side: function id -> hosting node name."""
+
+    def __init__(self, node: str):
+        self.node = node
+        self._routes: Dict[str, str] = {}
+        self.version = 0
+
+    def set_route(self, fn_id: str, node: str) -> None:
+        self._routes[fn_id] = node
+        self.version += 1
+
+    def remove_route(self, fn_id: str) -> None:
+        if self._routes.pop(fn_id, None) is not None:
+            self.version += 1
+
+    def node_for(self, fn_id: str) -> str:
+        try:
+            return self._routes[fn_id]
+        except KeyError:
+            raise RouteError(f"no inter-node route for {fn_id!r} on {self.node}") from None
+
+    def has_route(self, fn_id: str) -> bool:
+        return fn_id in self._routes
+
+    @property
+    def routes(self) -> Dict[str, str]:
+        return dict(self._routes)

@@ -1,0 +1,39 @@
+"""Experiments: one module per paper figure/table, plus shared harness."""
+
+from .ablations import run_multi_ingress, run_placement_ablation, run_sidecar_ablation
+from .fig09_comch import run_fig09
+from .fig11_offpath import run_fig11
+from .fig12_primitives import run_fig12
+from .fig13_ingress import run_fig13
+from .fig14_scaling import run_fig14
+from .fig15_tenancy import run_fig15, run_tenancy
+from .fig16_boutique import run_boutique_point, run_fig16, run_table2
+from .report import from_json, load, save, to_csv, to_json
+from . import validation
+from .runner import ExperimentResult, format_table
+from .table1_features import run_table1
+
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "from_json",
+    "load",
+    "save",
+    "to_csv",
+    "to_json",
+    "validation",
+    "run_boutique_point",
+    "run_fig09",
+    "run_multi_ingress",
+    "run_placement_ablation",
+    "run_sidecar_ablation",
+    "run_fig11",
+    "run_fig12",
+    "run_fig13",
+    "run_fig14",
+    "run_fig15",
+    "run_fig16",
+    "run_table1",
+    "run_table2",
+    "run_tenancy",
+]

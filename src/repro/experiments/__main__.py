@@ -1,0 +1,143 @@
+"""Command-line reproduction runner.
+
+Regenerate any (or every) figure/table of the paper's evaluation:
+
+    python -m repro.experiments --list
+    python -m repro.experiments fig12 fig13
+    python -m repro.experiments --all
+    python -m repro.experiments --quick fig16
+
+``--quick`` shrinks parameters for a fast sanity pass; the defaults
+match the benchmark harness (and EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import (
+    run_fig09,
+    run_fig11,
+    run_fig12,
+    run_fig13,
+    run_fig14,
+    run_fig15,
+    run_fig16,
+    run_multi_ingress,
+    run_placement_ablation,
+    run_sidecar_ablation,
+    run_table1,
+    run_table2,
+)
+from .report import save  # noqa: F401  (used when --json is given)
+
+
+def _fig14_all(**kwargs):
+    return [run_fig14(kind, **kwargs)
+            for kind in ("palladium", "f-ingress", "k-ingress")]
+
+
+#: experiment id -> (full-run callable, quick-run callable)
+EXPERIMENTS = {
+    "fig09": (
+        lambda: run_fig09(duration_us=40_000),
+        lambda: run_fig09(function_counts=(1, 6, 10), duration_us=15_000),
+    ),
+    "fig11": (
+        lambda: run_fig11(duration_us=60_000),
+        lambda: run_fig11(payload_sizes=(64, 4096), concurrencies=(1, 32),
+                          duration_us=30_000),
+    ),
+    "fig12": (
+        lambda: run_fig12(duration_us=40_000),
+        lambda: run_fig12(sizes=(64, 4096), duration_us=20_000),
+    ),
+    "fig13": (
+        lambda: run_fig13(duration_us=150_000),
+        lambda: run_fig13(client_counts=(1, 16), duration_us=60_000),
+    ),
+    "fig14": (
+        lambda: _fig14_all(steps=10),
+        lambda: _fig14_all(steps=5),
+    ),
+    "fig15": (
+        lambda: list(run_fig15(time_scale=1 / 120.0).values()),
+        lambda: list(run_fig15(time_scale=1 / 480.0).values()),
+    ),
+    "fig16": (
+        lambda: run_fig16(client_counts=(20, 80), duration_us=120_000),
+        lambda: run_fig16(chains=("Home Query",), client_counts=(20,),
+                          configs=("palladium-dne", "spright"),
+                          duration_us=80_000),
+    ),
+    "table1": (run_table1, run_table1),
+    "table2": (
+        lambda: run_table2(chains=("Home Query",), duration_us=120_000),
+        lambda: run_table2(client_counts=(20,), chains=("Home Query",),
+                           configs=("palladium-dne", "nightcore"),
+                           duration_us=80_000),
+    ),
+    "sidecar": (
+        lambda: run_sidecar_ablation(duration_us=100_000),
+        lambda: run_sidecar_ablation(clients=20, duration_us=60_000),
+    ),
+    "placement": (
+        lambda: run_placement_ablation(duration_us=100_000),
+        lambda: run_placement_ablation(clients=20, duration_us=60_000),
+    ),
+    "multi-ingress": (
+        lambda: run_multi_ingress(duration_us=250_000),
+        lambda: run_multi_ingress(duration_us=150_000),
+    ),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's figures and tables.",
+    )
+    parser.add_argument("experiments", nargs="*",
+                        help=f"one of: {', '.join(EXPERIMENTS)}")
+    parser.add_argument("--all", action="store_true",
+                        help="run every experiment")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller parameters for a fast pass")
+    parser.add_argument("--list", action="store_true",
+                        help="list experiment ids and exit")
+    parser.add_argument("--json", metavar="DIR", default=None,
+                        help="also write results as JSON/CSV under DIR")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    names = list(EXPERIMENTS) if args.all else args.experiments
+    if not names:
+        parser.print_help()
+        return 2
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+
+    for name in names:
+        full, quick = EXPERIMENTS[name]
+        started = time.time()
+        print(f"\n### {name} {'(quick)' if args.quick else ''}")
+        outcome = (quick if args.quick else full)()
+        results = outcome if isinstance(outcome, list) else [outcome]
+        for index, result in enumerate(results):
+            print(result)
+            print()
+            if args.json:
+                suffix = f"-{index}" if len(results) > 1 else ""
+                save(result, args.json, stem=f"{name}{suffix}")
+        print(f"[{name} took {time.time() - started:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,230 @@
+"""Fig. 16 + Table 2 — Online Boutique across six data planes (§4.3).
+
+The full system evaluation: the ten-function Online Boutique deployed
+with the paper's placement (hotspots on worker0, the rest on worker1 —
+except NightCore, which cannot cross nodes and runs everything on
+worker0), driven by wrk-style closed-loop clients through each design's
+cluster ingress.
+
+Configurations (Fig. 16 / Table 2):
+
+==================  ==========================================================
+palladium-dne       DNE on the DPU, Comch-E, DWRR, Palladium ingress
+palladium-cne       same engine on a host core, SK_MSG (apples-to-apples)
+fuyao-f             FUYAO one-sided engine + F-Ingress (+ F-stack adapter)
+fuyao-k             FUYAO one-sided engine + K-Ingress (+ kernel adapter)
+spright             SPRIGHT kernel-TCP engine + F-Ingress (+ F-stack adapter)
+nightcore           single node, built-in kernel gateway + kernel adapter
+==================  ==========================================================
+
+Paper anchors: Palladium-DNE 5.1-20.9x NightCore, 2.1-4.1x FUYAO-F,
+2.4-4.1x SPRIGHT, and 1.3-1.8x CNE beyond 20 clients; Table 2 mean
+latencies (e.g. Home Query @20/80 clients: 1.12/3.19 ms for DNE,
+10.77/42.8 ms for NightCore).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..baselines import (
+    NIGHTCORE_IPC_US,
+    build_cne,
+    build_dne,
+    build_fuyao,
+    build_spright,
+    nightcore_engine_builder,
+)
+from ..config import CostModel, SEC
+from ..ingress import FIngress, KIngress, PalladiumIngress, TcpWorkerAdapter
+from ..platform import ServerlessPlatform, Tenant
+from ..sim import Environment
+from ..workloads import (
+    BOUTIQUE_TENANT,
+    CHAIN_PATHS,
+    ClientFleet,
+    boutique_resolver,
+    deploy_boutique,
+    path_payload,
+)
+
+from .runner import ExperimentResult
+
+__all__ = ["run_fig16", "run_table2", "run_boutique_point", "CONFIGS", "EVAL_CHAINS"]
+
+EVAL_CHAINS = ("Home Query", "View Cart", "Product Query")
+
+#: the six evaluated data-plane configurations
+CONFIGS = ("palladium-dne", "palladium-cne", "fuyao-f", "fuyao-k",
+           "spright", "nightcore")
+
+#: extra per-request cost of NightCore's built-in kernel gateway beyond
+#: plain kernel NGINX (its gateway threads + internal dispatch queues).
+#: Calibrated from the throughput Table 2 implies (NightCore saturates
+#: around 2-4 K RPS: 20 clients / 10.77 ms ~ 1.9 K).
+NIGHTCORE_GATEWAY_US = 100.0
+
+
+def _build_platform(config: str, env: Environment, cost: CostModel,
+                    placement=None, sidecar_us=None, single_node=None):
+    """Assemble platform + ingress + adapters for one configuration."""
+    if single_node is None:
+        single_node = config == "nightcore"
+    builders = {
+        "palladium-dne": build_dne,
+        "palladium-cne": build_cne,
+        "fuyao-f": build_fuyao,
+        "fuyao-k": build_fuyao,
+        "spright": build_spright,
+        "nightcore": nightcore_engine_builder,
+    }
+    plat = ServerlessPlatform(
+        env, cost=cost,
+        engine_builder=builders[config],
+        intra_ipc_us=NIGHTCORE_IPC_US if config == "nightcore" else None,
+        sidecar_us=sidecar_us,
+    )
+    plat.add_tenant(Tenant(BOUTIQUE_TENANT, pool_buffers=4096))
+    deploy_boutique(plat, single_node=single_node, placement=placement)
+
+    adapters: Dict[str, TcpWorkerAdapter] = {}
+    if config in ("palladium-dne", "palladium-cne"):
+        ingress = PalladiumIngress(env, plat.cluster, plat.fabric, cost,
+                                   boutique_resolver, min_workers=2,
+                                   recv_buffers=256)
+        ingress.add_tenant(BOUTIQUE_TENANT, buffers=2048)
+        plat.coordinator.subscribe(ingress.routes)
+        plat.register_external(ingress.AGENT, "ingress")
+    else:
+        stack = (TcpWorkerAdapter.KERNEL
+                 if config in ("fuyao-k", "nightcore")
+                 else TcpWorkerAdapter.FSTACK)
+        adapter = TcpWorkerAdapter(env, plat.runtimes["worker0"], cost,
+                                   stack_kind=stack)
+        adapters["worker0"] = adapter
+        entry_node = lambda fn: "worker0"
+        if config in ("fuyao-k", "nightcore"):
+            kcost = cost
+            if config == "nightcore":
+                # NightCore's own gateway is heavier than kernel NGINX.
+                from dataclasses import replace
+                kcost = replace(cost,
+                                proxy_overhead_us=cost.proxy_overhead_us
+                                + NIGHTCORE_GATEWAY_US)
+            ingress = KIngress(env, plat.cluster, kcost, boutique_resolver,
+                               adapters, entry_node, cores=1)
+        else:
+            ingress = FIngress(env, plat.cluster, cost, boutique_resolver,
+                               adapters, entry_node, cores=2)
+    return plat, ingress
+
+
+def run_boutique_point(
+    config: str,
+    chain: str,
+    clients: int,
+    duration_us: float = 250_000.0,
+    warmup_us: float = 80_000.0,
+    cost: Optional[CostModel] = None,
+) -> Dict[str, float]:
+    """One Fig. 16 / Table 2 cell.
+
+    Returns rps, mean latency (ms), engine CPU% (both workers), worker
+    adapter CPU%, and DPU core%.
+    """
+    cost = cost or CostModel()
+    env = Environment()
+    plat, ingress = _build_platform(config, env, cost)
+    ingress.start()
+    plat.start()
+    path = CHAIN_PATHS[chain]
+    fleet = ClientFleet(env, plat.cluster, ingress, path=path,
+                        body_bytes=256, payload=path_payload(path),
+                        timeout_us=5 * SEC)
+
+    def kickoff():
+        yield env.timeout(warmup_us)
+        fleet.spawn(clients)
+
+    env.process(kickoff(), name="kickoff")
+    measure_from = warmup_us + duration_us * 0.3
+    baseline = {}
+    env.defer(measure_from, lambda: baseline.update(plat.usage_snapshot()))
+    env.run(until=warmup_us + duration_us)
+
+    engine_pct = sum(
+        e.engine_cpu_pct(measure_from, baseline.get(f"engine:{name}", 0.0))
+        for name, e in plat.engines.items()
+    )
+    adapter_pct = 0.0
+    for runtime in plat.runtimes.values():
+        for pinned in runtime.node.cpu.pinned:
+            if "tcpgw" in pinned.name:
+                adapter_pct += 100.0
+    return {
+        "rps": fleet.rps(measure_from, env.now),
+        "latency_ms": fleet.mean_latency_us() / 1000.0,
+        "engine_cpu_pct": engine_pct,
+        "adapter_cpu_pct": adapter_pct,
+        "dpu_pct": plat.dpu_cpu_pct(measure_from, baseline),
+        "errors": fleet.total_errors(),
+    }
+
+
+def run_fig16(
+    chains=EVAL_CHAINS,
+    client_counts=(20, 60, 80),
+    configs=CONFIGS,
+    duration_us: float = 250_000.0,
+    cost: Optional[CostModel] = None,
+) -> ExperimentResult:
+    """Reproduce Fig. 16: RPS + utilization per chain/config/clients."""
+    cost = cost or CostModel()
+    result = ExperimentResult(
+        "Fig 16 - Online Boutique",
+        columns=["chain", "config", "clients", "rps", "latency_ms",
+                 "engine_cpu_pct", "adapter_cpu_pct", "dpu_pct"],
+    )
+    for chain in chains:
+        for config in configs:
+            for clients in client_counts:
+                m = run_boutique_point(config, chain, clients,
+                                       duration_us, cost=cost)
+                result.add_row(chain, config, clients, round(m["rps"]),
+                               round(m["latency_ms"], 2),
+                               round(m["engine_cpu_pct"]),
+                               round(m["adapter_cpu_pct"]),
+                               round(m["dpu_pct"]))
+    result.note(
+        "paper: DNE 5.1-20.9x NightCore, 2.1-4.1x FUYAO-F, 2.4-4.1x "
+        "SPRIGHT, 1.3-1.8x CNE (>20 clients); FUYAO engine CPU >500%"
+    )
+    return result
+
+
+def run_table2(
+    client_counts=(20, 60, 80),
+    configs=CONFIGS,
+    chains=EVAL_CHAINS,
+    duration_us: float = 250_000.0,
+    cost: Optional[CostModel] = None,
+) -> ExperimentResult:
+    """Table 2: mean latency (ms) per chain / config / client count."""
+    cost = cost or CostModel()
+    result = ExperimentResult(
+        "Table 2 - mean latency (ms) of Online Boutique chains",
+        columns=["config"] + [
+            f"{chain}@{n}" for chain in chains for n in client_counts
+        ],
+    )
+    for config in configs:
+        row = [config]
+        for chain in chains:
+            for clients in client_counts:
+                m = run_boutique_point(config, chain, clients,
+                                       duration_us, cost=cost)
+                row.append(round(m["latency_ms"], 2))
+        result.add_row(*row)
+    result.note("paper Table 2: e.g. Home@20/60/80 = DNE 1.12/2.55/3.19, "
+                "CNE 1.43/4.39/5.62, NightCore 10.77/32.4/42.8 ms")
+    return result

@@ -1,0 +1,25 @@
+"""Ethernet NIC helpers: Receive Side Scaling (RSS).
+
+Palladium's ingress uses RSS to spread external client connections over
+worker processes pinned to distinct cores (§3.6), achieving the effect
+of aRFS without special NIC support.  We model the RSS hash as a stable
+hash of the flow identifier mapped onto the active queue set.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["rss_queue"]
+
+
+def rss_queue(flow_id: object, queues: int) -> int:
+    """Map a flow identifier to one of ``queues`` RX queues.
+
+    Deterministic (Toeplitz-like stable hashing) so a connection always
+    lands on the same worker, and uniform across flows.
+    """
+    if queues < 1:
+        raise ValueError("queues must be >= 1")
+    digest = hashlib.sha256(repr(flow_id).encode()).digest()
+    return int.from_bytes(digest[:4], "big") % queues

@@ -1,0 +1,143 @@
+"""Physical topology: links, switches, nodes, and the testbed cluster.
+
+The testbed (§4) is four nodes: two DPU-equipped workers, one ingress
+node (two ConnectX-6 RNICs: one facing the RDMA fabric, one acting as an
+Ethernet NIC toward clients) and one client node.  Workers and the
+ingress RNIC hang off a 200 Gbps RDMA switch; the client and the
+ingress Ethernet NIC share a separate 200 Gbps Ethernet switch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..config import ClusterSpec, CostModel, NodeSpec
+from ..sim import Environment, Resource
+
+from .cpu import CoreKind, CorePool
+from .dma import SocDmaEngine
+
+__all__ = ["Link", "Node", "Cluster", "build_cluster"]
+
+
+class Link:
+    """A half-duplex-per-direction point-to-point link.
+
+    ``send`` serializes the frame at the link rate (contending with
+    other frames in the same direction) and then applies propagation
+    plus fixed per-hop latency.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        bytes_per_us: float,
+        base_latency_us: float,
+        name: str = "link",
+    ):
+        if bytes_per_us <= 0:
+            raise ValueError("link rate must be positive")
+        self.env = env
+        self.bytes_per_us = bytes_per_us
+        self.base_latency_us = base_latency_us
+        self.name = name
+        self._tx = Resource(env, capacity=1, name=f"{name}-tx")
+        self.frames = 0
+        self.bytes_sent = 0
+
+    def transmit(self, nbytes: int):
+        """Generator: move one frame of ``nbytes`` across the link."""
+        serialization = nbytes / self.bytes_per_us
+        req = self._tx.request()
+        yield req
+        try:
+            yield self.env.timeout(serialization)
+        finally:
+            self._tx.release(req)
+        yield self.env.timeout(self.base_latency_us)
+        self.frames += 1
+        self.bytes_sent += nbytes
+
+    def utilization(self, since: float = 0.0) -> float:
+        return self._tx.utilization(since)
+
+
+class Node:
+    """A server node: host cores, optional DPU cores + SoC DMA."""
+
+    def __init__(self, env: Environment, spec: NodeSpec, cost: CostModel):
+        self.env = env
+        self.spec = spec
+        self.cost = cost
+        self.name = spec.name
+        self.cpu = CorePool(env, spec.cpu_cores, CoreKind.X86, 1.0, name=f"{spec.name}-cpu")
+        self.dpu: Optional[CorePool] = None
+        self.soc_dma: Optional[SocDmaEngine] = None
+        if spec.has_dpu:
+            self.dpu = CorePool(
+                env, spec.dpu_cores, CoreKind.ARM, cost.dpu_cost_factor,
+                name=f"{spec.name}-dpu",
+            )
+            self.soc_dma = SocDmaEngine(env, cost, name=f"{spec.name}-soc-dma")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.name} dpu={self.spec.has_dpu}>"
+
+
+class Cluster:
+    """The assembled testbed: nodes plus per-direction fabric links."""
+
+    def __init__(self, env: Environment, spec: ClusterSpec):
+        self.env = env
+        self.spec = spec
+        self.cost = spec.cost
+        self.workers: List[Node] = [
+            Node(env, spec.worker_spec(i), spec.cost) for i in range(spec.workers)
+        ]
+        self.ingress_node = Node(env, spec.ingress_spec(), spec.cost)
+        self.client_node = Node(env, spec.client_spec(), spec.cost)
+        self.nodes: Dict[str, Node] = {n.name: n for n in self.workers}
+        self.nodes[self.ingress_node.name] = self.ingress_node
+        self.nodes[self.client_node.name] = self.client_node
+
+        cost = spec.cost
+        #: directed RDMA-fabric links between every pair of fabric
+        #: endpoints (workers + ingress RNIC), through the 200 G switch.
+        self._fabric: Dict[tuple, Link] = {}
+        fabric_members = [n.name for n in self.workers] + [self.ingress_node.name]
+        for src in fabric_members:
+            for dst in fabric_members:
+                if src != dst:
+                    self._fabric[(src, dst)] = Link(
+                        env,
+                        cost.fabric_bytes_per_us,
+                        cost.rdma_base_latency_us,
+                        name=f"fabric:{src}->{dst}",
+                    )
+        #: Ethernet links between client node and ingress node.
+        self.ether_up = Link(
+            env, cost.ether_bytes_per_us, cost.ether_base_latency_us, name="ether-up"
+        )
+        self.ether_down = Link(
+            env, cost.ether_bytes_per_us, cost.ether_base_latency_us, name="ether-down"
+        )
+
+    def fabric_link(self, src: str, dst: str) -> Link:
+        """The directed RDMA link from node ``src`` to node ``dst``."""
+        try:
+            return self._fabric[(src, dst)]
+        except KeyError:
+            raise KeyError(f"no fabric path {src} -> {dst}") from None
+
+    def node(self, name: str) -> Node:
+        return self.nodes[name]
+
+
+def build_cluster(
+    env: Environment,
+    cost: Optional[CostModel] = None,
+    workers: int = 2,
+) -> Cluster:
+    """Build the paper's testbed with optional cost-model override."""
+    spec = ClusterSpec(workers=workers, cost=cost or CostModel())
+    return Cluster(env, spec)

@@ -1,0 +1,20 @@
+"""Cluster ingress gateways: Palladium's RDMA-converting gateway and baselines."""
+
+from .adapter import TcpWorkerAdapter
+from .balancer import IngressLoadBalancer
+from .gateway import Autoscaler, ClientConnection, GatewayStats, GatewayWorker
+from .palladium import PalladiumIngress
+from .proxy import FIngress, KIngress, ProxyIngress
+
+__all__ = [
+    "Autoscaler",
+    "ClientConnection",
+    "FIngress",
+    "GatewayStats",
+    "GatewayWorker",
+    "IngressLoadBalancer",
+    "KIngress",
+    "PalladiumIngress",
+    "ProxyIngress",
+    "TcpWorkerAdapter",
+]

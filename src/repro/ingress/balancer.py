@@ -1,0 +1,71 @@
+"""Load balancing across multiple Palladium ingress instances.
+
+The paper notes that the brief service interruption during worker
+scaling (Fig. 14 (2)) "can be avoided by enabling load balancing
+across multiple Palladium ingress instances" (§4.1.3).  This module
+implements that extension: an L4-style balancer that spreads external
+connections over N independent gateway instances, so a scale event in
+one instance only pauses its share of connections.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..hw import rss_queue
+from ..net import HttpRequest
+from ..sim import LatencyStats, RateMeter
+
+from .gateway import ClientConnection
+from .palladium import PalladiumIngress
+
+__all__ = ["IngressLoadBalancer"]
+
+
+class IngressLoadBalancer:
+    """Connection-level balancer over several gateway instances.
+
+    Exposes the same ``connect``/``submit`` surface as a single
+    gateway, so load generators can drive it unchanged.
+    """
+
+    def __init__(self, instances: List[PalladiumIngress]):
+        if not instances:
+            raise ValueError("balancer needs at least one ingress instance")
+        self.instances = instances
+        self._owner: dict = {}
+        env = instances[0].env
+        self.latency = LatencyStats("lb-e2e")
+        self.throughput = RateMeter("lb-rps")
+
+    def start(self) -> None:
+        for instance in self.instances:
+            instance.siblings = list(self.instances)
+            instance.start()
+
+    def connect(self) -> ClientConnection:
+        """Pin a new connection to an instance (stable L4 hashing)."""
+        conn_probe = ClientConnection(self.instances[0].env)
+        instance = self.instances[rss_queue(conn_probe.conn_id, len(self.instances))]
+        # Re-register the connection with its owning instance.
+        conn = instance.connect()
+        self._owner[conn.conn_id] = instance
+        return conn
+
+    def submit(self, conn: ClientConnection, request: HttpRequest) -> None:
+        self._owner[conn.conn_id].submit(conn, request)
+
+    # -- aggregate metrics ----------------------------------------------------
+    def completed(self) -> int:
+        return sum(i.stats.completed for i in self.instances)
+
+    def accepted(self) -> int:
+        return sum(i.stats.accepted for i in self.instances)
+
+    def paused_instances(self, now: float) -> int:
+        """Instances currently inside a scale-event pause window."""
+        count = 0
+        for instance in self.instances:
+            if any(w._pause_until > now for w in instance.workers):
+                count += 1
+        return count

@@ -1,0 +1,139 @@
+"""Ingress gateway common machinery.
+
+All three evaluated gateways (§4.1.3) share this scaffolding:
+
+* :class:`ClientConnection` — one external HTTP/TCP connection; the
+  load generator blocks on its ``inbox`` for responses.
+* :class:`GatewayWorker` — one data-plane worker process pinned to a
+  CPU core running a run-to-completion loop over an event inbox.
+* :class:`Autoscaler` — the master process' hysteresis policy (§3.6):
+  spawn a worker when mean *useful* utilization exceeds 60 %, reap one
+  when it drops below 30 %.  Scale events briefly pause the data plane
+  (worker restart, visible as the dips in Fig. 14 (2)).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, List, Optional
+
+from ..config import CostModel
+from ..hw import rss_queue
+from ..sim import Environment, Event, Store, TimeSeries
+
+__all__ = ["ClientConnection", "GatewayWorker", "Autoscaler", "GatewayStats"]
+
+_conn_ids = itertools.count(1)
+
+
+class ClientConnection:
+    """One external client connection terminated at the gateway."""
+
+    def __init__(self, env: Environment):
+        self.conn_id = next(_conn_ids)
+        self.env = env
+        #: responses delivered back to the client
+        self.inbox: Store = Store(env, name=f"conn{self.conn_id}")
+        self.open = True
+        self.requests_sent = 0
+        self.responses_received = 0
+
+
+class GatewayStats:
+    """Aggregate gateway counters."""
+
+    def __init__(self):
+        self.accepted = 0
+        self.completed = 0
+        self.dropped = 0
+
+
+class GatewayWorker:
+    """One gateway worker process: pinned core + event inbox."""
+
+    def __init__(self, env: Environment, index: int, core, name: str = ""):
+        self.env = env
+        self.index = index
+        self.core = core
+        self.name = name or f"gw-worker{index}"
+        self.inbox: Store = Store(env, name=f"{self.name}-inbox")
+        self.active = True
+        self._pause_until = 0.0
+
+    def pause(self, duration_us: float) -> None:
+        """Service interruption while the worker process restarts."""
+        self._pause_until = max(self._pause_until, self.env.now + duration_us)
+
+    def maybe_pause(self):
+        """Generator: honor any pending restart pause."""
+        if self.env.now < self._pause_until:
+            yield self.env.timeout(self._pause_until - self.env.now)
+
+
+class Autoscaler:
+    """Hysteresis-based horizontal scaling of gateway workers (§3.6)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        cost: CostModel,
+        spawn: Callable[[], None],
+        reap: Callable[[], None],
+        workers: Callable[[], List[GatewayWorker]],
+        min_workers: int = 1,
+        max_workers: int = 8,
+    ):
+        self.env = env
+        self.cost = cost
+        self._spawn = spawn
+        self._reap = reap
+        self._workers = workers
+        self.min_workers = min_workers
+        self.max_workers = max_workers
+        #: time series of (time, active workers) for Fig. 14
+        self.worker_series = TimeSeries("workers")
+        #: time series of (time, mean useful utilization)
+        self.util_series = TimeSeries("utilization")
+        self.scale_events = 0
+        self._snapshots = {}
+
+    def _mean_useful_utilization(self, period_us: float) -> float:
+        workers = self._workers()
+        if not workers:
+            return 0.0
+        utils = []
+        for worker in workers:
+            prev = self._snapshots.get(worker.name, 0.0)
+            current = worker.core.tracker.useful
+            utils.append((current - prev) / period_us)
+            self._snapshots[worker.name] = current
+        return sum(utils) / len(utils)
+
+    def run(self):
+        """Generator: the master process' periodic scaling loop."""
+        period = self.cost.ingress_autoscale_period_us
+        while True:
+            yield self.env.timeout(period)
+            util = self._mean_useful_utilization(period)
+            workers = self._workers()
+            self.util_series.record(self.env.now, util)
+            self.worker_series.record(self.env.now, len(workers))
+            if util > self.cost.ingress_scale_up_threshold and len(workers) < self.max_workers:
+                self._spawn()
+                self.scale_events += 1
+                self._pause_all()
+            elif util < self.cost.ingress_scale_down_threshold and len(workers) > self.min_workers:
+                self._reap()
+                self.scale_events += 1
+                self._pause_all()
+
+    def _pause_all(self) -> None:
+        for worker in self._workers():
+            worker.pause(self.cost.ingress_scale_event_pause_us)
+
+
+def rss_pick(workers: List[GatewayWorker], conn_id: int) -> GatewayWorker:
+    """RSS-style stable assignment of a connection to a worker."""
+    if not workers:
+        raise RuntimeError("gateway has no active workers")
+    return workers[rss_queue(conn_id, len(workers))]

@@ -1,0 +1,283 @@
+"""Palladium's HTTP/TCP-to-RDMA cluster ingress gateway (§3.6, Fig. 10).
+
+The gateway terminates external HTTP/TCP at the cluster edge and moves
+only the payload onward over the RDMA fabric — the "early transport
+conversion" that removes every software protocol stack from the worker
+nodes (Fig. 4 (2)).
+
+Architecture mirrors the paper: a master process handling control
+(configuration, horizontal scaling) and N worker processes, each pinned
+to a CPU core, each running a batched run-to-completion event loop over
+F-stack RX, NGINX-grade HTTP processing, and RDMA send/receive.
+External connections are spread over workers with RSS.
+
+The ingress node carries no DPU: its standalone ConnectX-6 talks to the
+worker DNEs as an ordinary fabric peer, with its own per-tenant buffer
+pools posted to shared receive queues for response traffic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..config import CostModel
+from ..dne.routing import InterNodeRoutes
+from ..hw import Cluster
+from ..memory import MemoryPool, PoolExhausted
+from ..net import FStack, HttpProcessor, HttpRequest, HttpResponse
+from ..rdma import ConnectionManager, Opcode, RdmaFabric, WorkRequest
+from ..sim import Environment, LatencyStats, RateMeter, Store
+
+from .gateway import Autoscaler, ClientConnection, GatewayStats, GatewayWorker, rss_pick
+
+__all__ = ["PalladiumIngress"]
+
+_rids = itertools.count(1_000_000)
+
+#: resolver: HTTP path -> (tenant, entry function, request body bytes ok)
+EntryResolver = Callable[[str], Tuple[str, str]]
+
+
+class PalladiumIngress:
+    """The HTTP/TCP-to-RDMA converting gateway."""
+
+    AGENT = "_ingress"
+
+    def __init__(
+        self,
+        env: Environment,
+        cluster: Cluster,
+        fabric: RdmaFabric,
+        cost: CostModel,
+        resolver: EntryResolver,
+        min_workers: int = 1,
+        max_workers: int = 8,
+        autoscale: bool = False,
+        recv_buffers: int = 128,
+        stats_bucket_us: float = 1_000_000.0,
+        service_resolver=None,
+    ):
+        #: optional logical-service -> replica resolution (elastic
+        #: platforms); identity when not provided
+        self.service_resolver = service_resolver or (lambda fn: fn)
+        self.env = env
+        self.cluster = cluster
+        self.fabric = fabric
+        self.cost = cost
+        self.resolver = resolver
+        self.node = cluster.ingress_node
+        self.rnic = fabric.install_rnic(self.node.name)
+        self.conn_mgr = ConnectionManager(env, fabric, self.node.name, cost)
+        self.routes = InterNodeRoutes(self.node.name)
+        self.recv_buffers = recv_buffers
+
+        self.pools: Dict[str, MemoryPool] = {}
+        self.workers: List[GatewayWorker] = []
+        self._worker_seq = 0
+        self.stats = GatewayStats()
+        self.latency = LatencyStats("ingress-e2e")
+        self.throughput = RateMeter("ingress-rps", bucket=stats_bucket_us)
+        #: rid -> (connection, worker, request, accept time)
+        self._pending: Dict[int, Tuple[ClientConnection, GatewayWorker, HttpRequest, float]] = {}
+        self._running = False
+        self.min_workers = min_workers
+        self.max_workers = max_workers
+        self.autoscale = autoscale
+        self.autoscaler: Optional[Autoscaler] = None
+        #: other gateway instances sharing this node's RNIC (multi-
+        #: instance deployments behind a load balancer); completions are
+        #: routed to whichever instance owns the request id.
+        self.siblings: List["PalladiumIngress"] = [self]
+
+    # -- setup ----------------------------------------------------------------
+    def add_tenant(self, tenant: str, buffers: int = 256, buffer_bytes: int = 8192) -> None:
+        """Create the gateway's pool for a tenant and register it."""
+        if tenant in self.pools:
+            raise ValueError(f"tenant {tenant!r} already added to ingress")
+        pool = MemoryPool(self.env, tenant, buffers, buffer_bytes,
+                          name=f"pool:ingress:{tenant}")
+        self.pools[tenant] = pool
+        self.rnic.register_pool(pool)
+
+    def start(self) -> None:
+        """Bring up workers, CQ dispatch, replenisher, and autoscaler."""
+        if self._running:
+            raise RuntimeError("ingress already started")
+        self._running = True
+        for _ in range(self.min_workers):
+            self._spawn_worker()
+        for tenant in self.pools:
+            self._post_recv(tenant, self.recv_buffers)
+        self.env.process(self._cq_dispatch(), name="ingress-cq")
+        self.env.process(self._replenisher(), name="ingress-replenish")
+        self.env.process(self._warm_connections(), name="ingress-warm")
+        if self.autoscale:
+            self.autoscaler = Autoscaler(
+                self.env, self.cost,
+                spawn=self._spawn_worker,
+                reap=self._reap_worker,
+                workers=lambda: self.workers,
+                min_workers=self.min_workers,
+                max_workers=self.max_workers,
+            )
+            self.env.process(self.autoscaler.run(), name="ingress-autoscale")
+
+    def _warm_connections(self):
+        for worker_node in [n.name for n in self.cluster.workers]:
+            for tenant in self.pools:
+                yield from self.conn_mgr.warm_up(worker_node, tenant)
+
+    def _spawn_worker(self) -> None:
+        core = self.node.cpu.allocate_pinned(f"ingress-w{self._worker_seq}")
+        worker = GatewayWorker(self.env, self._worker_seq, core,
+                               name=f"ingress-w{self._worker_seq}")
+        self._worker_seq += 1
+        self.workers.append(worker)
+        self.env.process(self._worker_loop(worker), name=worker.name)
+
+    def _reap_worker(self) -> None:
+        if len(self.workers) <= self.min_workers:
+            return
+        worker = self.workers.pop()
+        worker.active = False
+        worker.inbox.put(("shutdown", None))
+        worker.core.unpin()
+
+    # -- client-facing API -------------------------------------------------------
+    def connect(self) -> ClientConnection:
+        """Accept a new external TCP connection (handshake is charged
+        lazily on the owning worker's first event)."""
+        conn = ClientConnection(self.env)
+        worker = rss_pick(self.workers, conn.conn_id)
+        worker.inbox.put(("handshake", conn))
+        return conn
+
+    def submit(self, conn: ClientConnection, request: HttpRequest) -> None:
+        """A request frame arrived from the Ethernet side."""
+        request.connection_id = conn.conn_id
+        worker = rss_pick(self.workers, conn.conn_id)
+        worker.inbox.put(("request", (conn, request)))
+        self.stats.accepted += 1
+
+    # -- worker data-plane loop -----------------------------------------------------
+    def _worker_loop(self, worker: GatewayWorker):
+        fstack = FStack(self.env, worker.core, self.cost, name=f"{worker.name}-fstack")
+        http = HttpProcessor(worker.core, self.cost)
+        while worker.active:
+            event = yield worker.inbox.get()
+            yield from worker.maybe_pause()
+            kind, payload = event
+            if kind == "shutdown":
+                break
+            if kind == "handshake":
+                yield from fstack.handshake()
+            elif kind == "request":
+                conn, request = payload
+                yield from self._handle_request(worker, fstack, http, conn, request)
+            elif kind == "response":
+                completion = payload
+                yield from self._handle_response(worker, fstack, http, completion)
+
+    def _handle_request(self, worker, fstack: FStack, http: HttpProcessor,
+                        conn: ClientConnection, request: HttpRequest):
+        yield from fstack.rx(request.wire_bytes)
+        yield from http.parse(request.wire_bytes)
+        tenant, entry_fn = self.resolver(request.path)
+        entry_fn = self.service_resolver(entry_fn)
+        pool = self.pools[tenant]
+        try:
+            buffer = pool.get(self.AGENT)
+        except PoolExhausted:
+            buffer = yield from pool.get_wait(self.AGENT)
+        buffer.write(self.AGENT, request.body, request.body_bytes)
+        rid = next(_rids)
+        self._pending[rid] = (conn, worker, request, self.env.now)
+        dst_node = self.routes.node_for(entry_fn)
+        qp = yield from self.conn_mgr.get_connection(dst_node, tenant)
+        wr = WorkRequest(
+            opcode=Opcode.SEND,
+            buffer=buffer,
+            length=request.body_bytes,
+            meta={
+                "kind": "request",
+                "rid": rid,
+                "src": self.AGENT,
+                "dst": entry_fn,
+                "reply_to": self.AGENT,
+                "tenant": tenant,
+                "_via": "engine",
+            },
+        )
+        self.rnic.post_send(qp, wr)
+
+    def _handle_response(self, worker, fstack: FStack, http: HttpProcessor, completion):
+        rid = completion.meta.get("rid")
+        entry = self._pending.pop(rid, None)
+        buffer = completion.buffer
+        body = buffer.read(f"rnic:{self.node.name}")
+        length = completion.length
+        # Recycle the gateway receive buffer immediately after the read.
+        buffer.pool.put(buffer, f"rnic:{self.node.name}")
+        if entry is None:
+            self.stats.dropped += 1
+            return
+        conn, _worker, request, t0 = entry
+        response = HttpResponse(status=200, body=body, body_bytes=length,
+                                request_id=request.request_id)
+        yield from http.serialize(response.wire_bytes)
+        yield from fstack.tx(response.wire_bytes)
+
+        def _transit():
+            # Ethernet transit happens in the NIC, not the worker loop.
+            yield from self.cluster.ether_down.transmit(response.wire_bytes)
+            if conn.open:
+                conn.inbox.put(response)
+                conn.responses_received += 1
+            self.stats.completed += 1
+            self.latency.record(self.env.now - t0)
+            self.throughput.record(self.env.now)
+
+        self.env.process(_transit(), name="ingress-ether-tx")
+
+    # -- RDMA receive plumbing ---------------------------------------------------------
+    def _cq_dispatch(self):
+        """Route CQEs: responses to the owning worker, send-completions
+        recycle their buffer.
+
+        With multiple gateway instances sharing the node's RNIC, the
+        response is handed to whichever *sibling* instance owns the
+        request id.
+        """
+        while self._running:
+            completion = yield self.rnic.cq.get()
+            if completion.is_recv:
+                rid = completion.meta.get("rid")
+                owner = next(
+                    (gw for gw in self.siblings if rid in gw._pending), self
+                )
+                entry = owner._pending.get(rid)
+                worker = entry[1] if entry else rss_pick(owner.workers, rid or 0)
+                worker.inbox.put(("response", completion))
+            elif completion.opcode == Opcode.SEND and completion.buffer is not None:
+                completion.buffer.pool.put(completion.buffer, self.AGENT)
+
+    def _replenisher(self):
+        """Keep per-tenant shared RQs stocked (the DNE core-thread analog)."""
+        while self._running:
+            yield self.env.timeout(50.0)
+            for tenant in self.pools:
+                srq = self.rnic.srq(tenant)
+                consumed = srq.consumed_since_replenish
+                if consumed:
+                    srq.consumed_since_replenish = 0
+                    self._post_recv(tenant, consumed)
+
+    def _post_recv(self, tenant: str, count: int) -> None:
+        pool = self.pools[tenant]
+        for _ in range(count):
+            try:
+                buf = pool.get(self.AGENT)
+            except PoolExhausted:
+                break
+            self.rnic.post_recv(tenant, buf, self.AGENT)

@@ -1,0 +1,243 @@
+"""Traditional HTTP/TCP cluster ingresses: K-Ingress and F-Ingress.
+
+Both are NGINX-style reverse proxies implementing the *deferred*
+transport conversion of Fig. 4 (1): they terminate the client's TCP,
+then open/reuse TCP toward the worker node, where a
+:class:`~repro.ingress.adapter.TcpWorkerAdapter` terminates TCP *again*
+before the payload reaches the function.
+
+* **K-Ingress** uses the interrupt-driven kernel TCP/IP stack on a
+  bounded set of shared cores; under overload its IRQ load snowballs
+  (receive livelock) — the collapse in Fig. 13/14.
+* **F-Ingress** integrates DPDK F-stack: worker processes pinned to
+  cores with busy-polling loops, optionally autoscaled with the same
+  hysteresis policy as Palladium's gateway (§4.1.3 "we adapt our
+  autoscaler to support the F-Ingress").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..config import CostModel
+from ..hw import Cluster, CorePool
+from ..net import FStack, HttpProcessor, HttpRequest, HttpResponse, KernelTcpStack
+from ..sim import Environment, LatencyStats, RateMeter, Store
+
+from .adapter import TcpWorkerAdapter
+from .gateway import Autoscaler, ClientConnection, GatewayStats, GatewayWorker, rss_pick
+
+__all__ = ["ProxyIngress", "KIngress", "FIngress"]
+
+#: resolver: HTTP path -> (tenant, entry function)
+EntryResolver = Callable[[str], Tuple[str, str]]
+
+#: TCP/IP framing overhead on the proxied intra-cluster hop
+TCP_FRAME_OVERHEAD = 66
+
+
+class ProxyIngress:
+    """Common NGINX-proxy machinery; see :class:`KIngress`/:class:`FIngress`."""
+
+    KERNEL = "kernel"
+    FSTACK = "fstack"
+
+    def __init__(
+        self,
+        env: Environment,
+        cluster: Cluster,
+        cost: CostModel,
+        resolver: EntryResolver,
+        adapters: Dict[str, TcpWorkerAdapter],
+        entry_node: Callable[[str], str],
+        mode: str,
+        cores: int = 1,
+        max_workers: int = 8,
+        autoscale: bool = False,
+        stats_bucket_us: float = 1_000_000.0,
+    ):
+        if mode not in (self.KERNEL, self.FSTACK):
+            raise ValueError(f"unknown ingress mode {mode!r}")
+        self.env = env
+        self.cluster = cluster
+        self.cost = cost
+        self.resolver = resolver
+        self.adapters = adapters
+        self.entry_node = entry_node
+        self.mode = mode
+        self.node = cluster.ingress_node
+        self.stats = GatewayStats()
+        self.latency = LatencyStats(f"{mode}-ingress-e2e")
+        self.throughput = RateMeter(f"{mode}-ingress-rps", bucket=stats_bucket_us)
+        self._running = False
+        self.autoscale = autoscale
+        self.autoscaler: Optional[Autoscaler] = None
+        self.max_workers = max_workers
+        self.min_workers = cores if mode == self.FSTACK else 1
+
+        if mode == self.KERNEL:
+            #: bounded shared cores for the kernel stack + nginx workers
+            self.cpu = CorePool(env, cores, name="ingress-kernel")
+            self.stack = KernelTcpStack(env, self.cpu, cost, name="ingress-ktcp")
+            self.http = HttpProcessor(self.cpu, cost)
+            self.workers: List[GatewayWorker] = []
+        else:
+            self.cpu = None
+            self.workers = []
+            self._worker_seq = 0
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> None:
+        if self._running:
+            raise RuntimeError("ingress already started")
+        self._running = True
+        if self.mode == self.FSTACK:
+            for _ in range(self.min_workers):
+                self._spawn_worker()
+            if self.autoscale:
+                self.autoscaler = Autoscaler(
+                    self.env, self.cost,
+                    spawn=self._spawn_worker,
+                    reap=self._reap_worker,
+                    workers=lambda: self.workers,
+                    min_workers=self.min_workers,
+                    max_workers=self.max_workers,
+                )
+                self.env.process(self.autoscaler.run(), name="f-ingress-autoscale")
+        for adapter in self.adapters.values():
+            adapter.start()
+
+    def _spawn_worker(self) -> None:
+        core = self.node.cpu.allocate_pinned(f"f-ingress-w{self._worker_seq}")
+        worker = GatewayWorker(self.env, self._worker_seq, core,
+                               name=f"f-ingress-w{self._worker_seq}")
+        self._worker_seq += 1
+        self.workers.append(worker)
+        self.env.process(self._fstack_worker_loop(worker), name=worker.name)
+
+    def _reap_worker(self) -> None:
+        if len(self.workers) <= self.min_workers:
+            return
+        worker = self.workers.pop()
+        worker.active = False
+        worker.inbox.put(("shutdown", None))
+        worker.core.unpin()
+
+    # -- client-facing API ------------------------------------------------------
+    def connect(self) -> ClientConnection:
+        conn = ClientConnection(self.env)
+        if self.mode == self.FSTACK:
+            worker = rss_pick(self.workers, conn.conn_id)
+            worker.inbox.put(("handshake", conn))
+        else:
+            self.env.process(self.stack.handshake(), name="ingress-hs")
+        return conn
+
+    def submit(self, conn: ClientConnection, request: HttpRequest) -> None:
+        request.connection_id = conn.conn_id
+        self.stats.accepted += 1
+        if self.mode == self.FSTACK:
+            worker = rss_pick(self.workers, conn.conn_id)
+            worker.inbox.put(("request", (conn, request)))
+        else:
+            self.env.process(
+                self._kernel_handle(conn, request), name="ingress-req"
+            )
+
+    # -- kernel (interrupt-driven) path ----------------------------------------------
+    def _kernel_handle(self, conn: ClientConnection, request: HttpRequest):
+        t0 = self.env.now
+        yield from self.stack.rx(request.wire_bytes)
+        yield from self.http.parse(request.wire_bytes)
+        yield from self.cpu.execute(self.cost.proxy_overhead_us)
+        yield from self.stack.tx(request.wire_bytes + TCP_FRAME_OVERHEAD)
+        self._proxy_to_worker(conn, request, t0)
+
+    # -- F-stack (pinned worker) path ----------------------------------------------------
+    def _fstack_worker_loop(self, worker: GatewayWorker):
+        fstack = FStack(self.env, worker.core, self.cost, name=f"{worker.name}-fstack")
+        http = HttpProcessor(worker.core, self.cost)
+        while worker.active:
+            event = yield worker.inbox.get()
+            yield from worker.maybe_pause()
+            kind, payload = event
+            if kind == "shutdown":
+                break
+            if kind == "handshake":
+                yield from fstack.handshake()
+            elif kind == "request":
+                conn, request = payload
+                t0 = self.env.now
+                yield from fstack.rx(request.wire_bytes)
+                yield from http.parse(request.wire_bytes)
+                yield from worker.core.work(self.cost.proxy_overhead_us)
+                yield from fstack.tx(request.wire_bytes + TCP_FRAME_OVERHEAD)
+                self._proxy_to_worker(conn, request, t0)
+            elif kind == "respond":
+                conn, response, t0 = payload
+                yield from fstack.rx(response.wire_bytes)
+                yield from http.parse(response.wire_bytes)
+                yield from worker.core.work(self.cost.proxy_overhead_us)
+                yield from fstack.tx(response.wire_bytes)
+                self._finish(conn, response, t0)
+
+    # -- shared proxy plumbing ---------------------------------------------------------------
+    def _proxy_to_worker(self, conn: ClientConnection, request: HttpRequest, t0: float) -> None:
+        """Hand the proxied request to the intra-cluster wire (async)."""
+        tenant, entry_fn = self.resolver(request.path)
+        node_name = self.entry_node(entry_fn)
+        adapter = self.adapters[node_name]
+        link = self.cluster.fabric_link(self.node.name, node_name)
+        ctx = (conn, request, t0)
+
+        def _transit():
+            yield from link.transmit(request.wire_bytes + TCP_FRAME_OVERHEAD)
+            adapter.deliver_request(request, tenant, entry_fn, ctx,
+                                    self._response_from_worker)
+
+        self.env.process(_transit(), name="proxy-uplink")
+
+    def _response_from_worker(self, ctx, body, length):
+        """Generator (spawned by the adapter): relay a response to the client."""
+        conn, request, t0 = ctx
+        node_name = self.entry_node(self.resolver(request.path)[1])
+        link = self.cluster.fabric_link(node_name, self.node.name)
+        response = HttpResponse(status=200, body=body, body_bytes=length,
+                                request_id=request.request_id)
+        yield from link.transmit(response.wire_bytes + TCP_FRAME_OVERHEAD)
+        if self.mode == self.KERNEL:
+            yield from self.stack.rx(response.wire_bytes)
+            yield from self.http.parse(response.wire_bytes)
+            yield from self.cpu.execute(self.cost.proxy_overhead_us)
+            yield from self.stack.tx(response.wire_bytes)
+            self._finish(conn, response, t0)
+        else:
+            worker = rss_pick(self.workers, conn.conn_id)
+            worker.inbox.put(("respond", (conn, response, t0)))
+
+    def _finish(self, conn: ClientConnection, response: HttpResponse, t0: float) -> None:
+        """Ethernet transit back to the client (async to the loop)."""
+        def _transit():
+            yield from self.cluster.ether_down.transmit(response.wire_bytes)
+            if conn.open:
+                conn.inbox.put(response)
+                conn.responses_received += 1
+            self.stats.completed += 1
+            self.latency.record(self.env.now - t0)
+            self.throughput.record(self.env.now)
+
+        self.env.process(_transit(), name="proxy-ether-tx")
+
+
+def KIngress(env, cluster, cost, resolver, adapters, entry_node,
+             cores: int = 1, **kwargs) -> ProxyIngress:
+    """The kernel-stack NGINX ingress of §4.1.3."""
+    return ProxyIngress(env, cluster, cost, resolver, adapters, entry_node,
+                        mode=ProxyIngress.KERNEL, cores=cores, **kwargs)
+
+
+def FIngress(env, cluster, cost, resolver, adapters, entry_node,
+             cores: int = 1, **kwargs) -> ProxyIngress:
+    """The F-stack NGINX ingress of §4.1.3."""
+    return ProxyIngress(env, cluster, cost, resolver, adapters, entry_node,
+                        mode=ProxyIngress.FSTACK, cores=cores, **kwargs)

@@ -1,0 +1,36 @@
+"""Unified memory subsystem: pools, buffers, ownership, isolation, cross-mapping."""
+
+from .buffer import (
+    DESCRIPTOR_BYTES,
+    Buffer,
+    BufferDescriptor,
+    BufferState,
+    OwnershipError,
+)
+from .crossmap import (
+    CrossProcessorExporter,
+    ExportDescriptor,
+    MappingError,
+    RemoteMap,
+    create_from_export,
+)
+from .isolation import IsolationError, SharedMemoryAgent, TenantMemoryRegistry
+from .mempool import MemoryPool, PoolExhausted
+
+__all__ = [
+    "Buffer",
+    "BufferDescriptor",
+    "BufferState",
+    "CrossProcessorExporter",
+    "DESCRIPTOR_BYTES",
+    "ExportDescriptor",
+    "IsolationError",
+    "MappingError",
+    "MemoryPool",
+    "OwnershipError",
+    "PoolExhausted",
+    "RemoteMap",
+    "SharedMemoryAgent",
+    "TenantMemoryRegistry",
+    "create_from_export",
+]

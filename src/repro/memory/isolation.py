@@ -1,0 +1,115 @@
+"""Per-tenant memory isolation via file-prefix namespaces (§3.4.1).
+
+Palladium rides DPDK's multi-process model: a per-tenant *shared memory
+agent* (the DPDK primary process) creates the tenant's pool under a
+distinct ``--file-prefix`` and functions attach as secondary processes
+using that prefix.  A function can only map pools whose prefix it was
+given, which is how tenants are kept out of each other's memory.
+
+We reproduce the control-plane semantics: a registry of prefixes, an
+agent that creates pools, and an ``attach`` call that validates the
+caller's tenant before handing back the pool object.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..sim import Environment
+
+from .mempool import MemoryPool
+
+__all__ = ["IsolationError", "SharedMemoryAgent", "TenantMemoryRegistry"]
+
+
+class IsolationError(PermissionError):
+    """A function tried to map another tenant's memory pool."""
+
+
+class SharedMemoryAgent:
+    """The DPDK-primary-process stand-in that owns one tenant's pool.
+
+    The agent is control-plane only — it sets the pool up before
+    function startup and exports it to the DPU (§3.4.2); it never
+    touches the data path.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        tenant: str,
+        file_prefix: str,
+        buffer_count: int,
+        buffer_bytes: int,
+    ):
+        self.env = env
+        self.tenant = tenant
+        self.file_prefix = file_prefix
+        self.pool = MemoryPool(
+            env, tenant, buffer_count, buffer_bytes, name=f"pool:{file_prefix}"
+        )
+
+    def export_descriptor(self) -> Dict[str, object]:
+        """The mmap configuration secondary processes load (§3.4.1)."""
+        return {
+            "file_prefix": self.file_prefix,
+            "tenant": self.tenant,
+            "buffer_bytes": self.pool.buffer_bytes,
+            "buffer_count": self.pool.buffer_count,
+            "hugepages": self.pool.hugepages,
+        }
+
+
+class TenantMemoryRegistry:
+    """Cluster-wide view of tenant pools, keyed by file prefix."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._agents: Dict[str, SharedMemoryAgent] = {}
+        self._tenant_prefix: Dict[str, str] = {}
+
+    def create_tenant_pool(
+        self,
+        tenant: str,
+        buffer_count: int,
+        buffer_bytes: int,
+        file_prefix: Optional[str] = None,
+    ) -> SharedMemoryAgent:
+        """Start a shared-memory agent for ``tenant``; prefixes are unique."""
+        prefix = file_prefix or f"palladium_{tenant}"
+        if prefix in self._agents:
+            raise ValueError(f"file prefix {prefix!r} already in use")
+        if tenant in self._tenant_prefix:
+            raise ValueError(f"tenant {tenant!r} already has a pool")
+        agent = SharedMemoryAgent(self.env, tenant, prefix, buffer_count, buffer_bytes)
+        self._agents[prefix] = agent
+        self._tenant_prefix[tenant] = prefix
+        return agent
+
+    def attach(self, file_prefix: str, tenant: str) -> MemoryPool:
+        """Map a pool as a secondary process; cross-tenant attach fails."""
+        agent = self._agents.get(file_prefix)
+        if agent is None:
+            raise KeyError(f"no pool with file prefix {file_prefix!r}")
+        if agent.tenant != tenant:
+            raise IsolationError(
+                f"tenant {tenant!r} may not map pool of tenant {agent.tenant!r}"
+            )
+        return agent.pool
+
+    def pool_for(self, tenant: str) -> MemoryPool:
+        """Look up a tenant's pool (control-plane convenience)."""
+        prefix = self._tenant_prefix.get(tenant)
+        if prefix is None:
+            raise KeyError(f"tenant {tenant!r} has no pool")
+        return self._agents[prefix].pool
+
+    def agent_for(self, tenant: str) -> SharedMemoryAgent:
+        prefix = self._tenant_prefix.get(tenant)
+        if prefix is None:
+            raise KeyError(f"tenant {tenant!r} has no pool")
+        return self._agents[prefix]
+
+    @property
+    def tenants(self):
+        return list(self._tenant_prefix)

@@ -1,0 +1,17 @@
+"""Software networking: TCP stacks, HTTP costs, eBPF SK_MSG IPC."""
+
+from .ebpf import SkMsgSocket, SockMap
+from .http import HTTP_REQUEST_OVERHEAD, HttpProcessor, HttpRequest, HttpResponse
+from .stacks import FStack, KernelTcpStack, StackStats
+
+__all__ = [
+    "FStack",
+    "HTTP_REQUEST_OVERHEAD",
+    "HttpProcessor",
+    "HttpRequest",
+    "HttpResponse",
+    "KernelTcpStack",
+    "SkMsgSocket",
+    "SockMap",
+    "StackStats",
+]

@@ -1,0 +1,26 @@
+"""Serverless platform: functions, tenants, I/O library, coordinator, assembly."""
+
+from .cluster import ServerlessPlatform, build_palladium_dne
+from .autoscaling import FunctionAutoscaler
+from .elasticity import ElasticPlatform, ServiceGroup
+from .coordinator import Coordinator
+from .function import FunctionContext, FunctionInstance, FunctionSpec, Message
+from .iolib import IoLibrary, NodeRuntime
+from .tenant import ChainSpec, Tenant
+
+__all__ = [
+    "ChainSpec",
+    "Coordinator",
+    "ElasticPlatform",
+    "FunctionAutoscaler",
+    "FunctionContext",
+    "FunctionInstance",
+    "FunctionSpec",
+    "IoLibrary",
+    "Message",
+    "NodeRuntime",
+    "ServerlessPlatform",
+    "ServiceGroup",
+    "Tenant",
+    "build_palladium_dne",
+]

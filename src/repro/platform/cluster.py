@@ -1,0 +1,231 @@
+"""Platform assembly: cluster + fabric + engines + tenants + functions.
+
+:class:`ServerlessPlatform` wires together the whole testbed for one
+data-plane configuration.  The configuration is expressed as an
+``engine_builder`` — a callable producing each worker node's network
+engine (Palladium's DNE, the CNE, or one of the baseline engines from
+:mod:`repro.baselines`) — plus per-design sidecar and intra-node IPC
+cost overrides.
+
+Typical use::
+
+    plat = ServerlessPlatform(env, engine_builder=build_dne)
+    plat.add_tenant(Tenant("chain-a", weight=6))
+    plat.deploy(FunctionSpec("frontend", "chain-a", handler), "worker0")
+    plat.start()
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..config import CostModel
+from ..dne import ComchE, DpuNetworkEngine, DwrrScheduler, NetworkEngine
+from ..hw import Cluster, Node, build_cluster
+from ..memory import (
+    CrossProcessorExporter,
+    MemoryPool,
+    RemoteMap,
+    TenantMemoryRegistry,
+    create_from_export,
+)
+from ..rdma import RdmaFabric
+from ..sim import Environment, Store
+
+from .coordinator import Coordinator
+from .function import FunctionInstance, FunctionSpec
+from .iolib import IoLibrary, NodeRuntime
+from .tenant import Tenant
+
+__all__ = ["ServerlessPlatform", "build_palladium_dne"]
+
+EngineBuilder = Callable[
+    [Environment, Node, RdmaFabric, CostModel], Optional[NetworkEngine]
+]
+
+
+def build_palladium_dne(
+    env: Environment, node: Node, fabric: RdmaFabric, cost: CostModel
+) -> NetworkEngine:
+    """Default engine builder: Palladium's DNE with Comch-E and DWRR."""
+    channel = ComchE(env, cost, name=f"comch:{node.name}")
+    return DpuNetworkEngine(
+        env, node, fabric, cost, channel,
+        scheduler=DwrrScheduler(),
+        name=f"dne:{node.name}",
+    )
+
+
+class ServerlessPlatform:
+    """The assembled multi-node serverless cloud for one data plane."""
+
+    def __init__(
+        self,
+        env: Environment,
+        cost: Optional[CostModel] = None,
+        workers: int = 2,
+        engine_builder: EngineBuilder = build_palladium_dne,
+        sidecar_us: Optional[float] = None,
+        intra_ipc_us: Optional[float] = None,
+        recv_buffers: int = 128,
+    ):
+        self.env = env
+        self.cost = cost or CostModel()
+        self.cluster: Cluster = build_cluster(env, self.cost, workers=workers)
+        self.fabric = RdmaFabric(env, self.cluster, self.cost)
+        self.coordinator = Coordinator()
+        self.recv_buffers = recv_buffers
+
+        self.runtimes: Dict[str, NodeRuntime] = {}
+        self.engines: Dict[str, NetworkEngine] = {}
+        for worker in self.cluster.workers:
+            engine = engine_builder(env, worker, self.fabric, self.cost)
+            runtime = NodeRuntime(
+                env, worker, self.cost,
+                engine=engine,
+                sidecar_us=sidecar_us,
+                intra_ipc_us=intra_ipc_us,
+            )
+            self.runtimes[worker.name] = runtime
+            if engine is not None:
+                self.engines[worker.name] = engine
+                self.coordinator.subscribe(engine.routes)
+        for name, engine in self.engines.items():
+            engine.peers = dict(self.engines)
+
+        self._registries: Dict[str, TenantMemoryRegistry] = {
+            node: TenantMemoryRegistry(env) for node in self.runtimes
+        }
+        self.tenants: Dict[str, Tenant] = {}
+        self.functions: Dict[str, FunctionInstance] = {}
+        self._started = False
+
+    # -- tenants -------------------------------------------------------------
+    def add_tenant(self, tenant: Tenant) -> None:
+        """Create the tenant's per-node pools and register with engines."""
+        if tenant.name in self.tenants:
+            raise ValueError(f"tenant {tenant.name!r} already exists")
+        self.tenants[tenant.name] = tenant
+        for node_name, runtime in self.runtimes.items():
+            registry = self._registries[node_name]
+            agent = registry.create_tenant_pool(
+                tenant.name,
+                tenant.pool_buffers,
+                tenant.buffer_bytes,
+                file_prefix=f"palladium_{tenant.name}_{node_name}",
+            )
+            runtime.add_pool(tenant.name, agent.pool)
+            engine = runtime.engine
+            if engine is not None:
+                remote_map = self._export_pool(agent.pool, engine)
+                engine.setup_tenant(
+                    tenant.name, agent.pool, remote_map,
+                    weight=tenant.weight, recv_buffers=self.recv_buffers,
+                )
+
+    def _export_pool(
+        self, pool: MemoryPool, engine: NetworkEngine
+    ) -> Optional[RemoteMap]:
+        """Cross-processor export for DPU engines (§3.4.2); None otherwise."""
+        if isinstance(engine, DpuNetworkEngine):
+            exporter = CrossProcessorExporter(pool).export_pci().export_rdma()
+            return create_from_export(exporter.descriptor())
+        return None
+
+    def pool_for(self, tenant: str, node: str) -> MemoryPool:
+        return self.runtimes[node].pool_for(tenant)
+
+    # -- deployment -----------------------------------------------------------
+    def deploy(self, spec: FunctionSpec, node_name: str) -> FunctionInstance:
+        """Deploy a function instance onto a worker node."""
+        if spec.name in self.functions:
+            raise ValueError(f"function {spec.name!r} already deployed")
+        if spec.tenant not in self.tenants:
+            raise KeyError(f"unknown tenant {spec.tenant!r}")
+        runtime = self.runtimes[node_name]
+        iolib = IoLibrary(runtime, spec.name, spec.tenant)
+        instance = FunctionInstance(self.env, spec, iolib)
+        runtime.register_endpoint(spec.name, instance.inbox, tenant=spec.tenant)
+        # every node must know the function's security domain, even
+        # where the function is not local (§3.1)
+        for other in self.runtimes.values():
+            other.endpoint_tenants.setdefault(spec.name, spec.tenant)
+        self.coordinator.function_created(spec.name, node_name)
+        self.functions[spec.name] = instance
+        if self._started:
+            instance.start()
+        return instance
+
+    def register_adapter(self, node_name: str, adapter_id: str, inbox: Store) -> None:
+        """Register a pseudo-function endpoint (ingress/TCP adapters)."""
+        self.runtimes[node_name].register_endpoint(adapter_id, inbox)
+        self.coordinator.function_created(adapter_id, node_name)
+
+    def register_external(self, fn_id: str, node_name: str) -> None:
+        """Publish a route for an endpoint living off-worker (ingress)."""
+        self.coordinator.function_created(fn_id, node_name)
+
+    # -- lifecycle ----------------------------------------------------------------
+    def start(self) -> None:
+        """Start engines (with warmed RC connections) and functions."""
+        if self._started:
+            raise RuntimeError("platform already started")
+        self._started = True
+        fabric_nodes = set(self.fabric.nodes)
+        for node_name, engine in self.engines.items():
+            warm: List[Tuple[str, str]] = []
+            for other in self.runtimes:
+                if other != node_name:
+                    warm.extend((other, t) for t in self.tenants)
+            if "ingress" in fabric_nodes:
+                warm.extend(("ingress", t) for t in self.tenants)
+            engine.start(warm_peers=warm)
+        for instance in self.functions.values():
+            instance.start()
+
+    # -- measurement helpers ----------------------------------------------------------
+    def usage_snapshot(self) -> Dict[str, float]:
+        """Snapshot of cumulative busy counters (for windowed metrics)."""
+        snap: Dict[str, float] = {"app": sum(f.app_time_us for f in self.functions.values())}
+        for name, runtime in self.runtimes.items():
+            snap[f"cpu:{name}"] = runtime.node.cpu.total_busy_time()
+            if runtime.node.dpu is not None:
+                snap[f"dpu:{name}"] = runtime.node.dpu.total_busy_time()
+        for name, engine in self.engines.items():
+            snap[f"engine:{name}"] = engine.busy_us
+        return snap
+
+    def dataplane_cpu_pct(self, since: float = 0.0,
+                          baseline: Optional[Dict[str, float]] = None) -> float:
+        """Worker CPU spent on the data plane, % of one core.
+
+        Total scheduled+pinned CPU minus the functions' application
+        compute (tracked separately), matching Fig. 16 (4)-(6)'s
+        definition of network-engine efficiency.  ``baseline`` is a
+        :meth:`usage_snapshot` taken at ``since``.
+        """
+        elapsed = self.env.now - since
+        if elapsed <= 0:
+            return 0.0
+        baseline = baseline or {}
+        total = sum(
+            r.node.cpu.total_busy_time() - baseline.get(f"cpu:{name}", 0.0)
+            for name, r in self.runtimes.items()
+        )
+        app = (sum(f.app_time_us for f in self.functions.values())
+               - baseline.get("app", 0.0))
+        return max(0.0, 100.0 * (total - app) / elapsed)
+
+    def dpu_cpu_pct(self, since: float = 0.0,
+                    baseline: Optional[Dict[str, float]] = None) -> float:
+        """DPU core occupancy across workers, % of one core."""
+        elapsed = self.env.now - since
+        if elapsed <= 0:
+            return 0.0
+        baseline = baseline or {}
+        total = sum(
+            r.node.dpu.total_busy_time() - baseline.get(f"dpu:{name}", 0.0)
+            for name, r in self.runtimes.items()
+            if r.node.dpu is not None
+        )
+        return 100.0 * total / elapsed

@@ -1,0 +1,53 @@
+"""Control-plane coordinator (§3.5.5).
+
+A CNI-like controller that listens for function deployment events and
+keeps every node's routing state in sync: the intra-node table on each
+host and the inter-node table on each DPU (plus the ingress gateway's
+route view).  The coordinator is strictly off the data path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..dne.routing import InterNodeRoutes
+
+__all__ = ["Coordinator"]
+
+
+class Coordinator:
+    """Synchronizes routing tables across the cluster."""
+
+    def __init__(self):
+        #: inter-node route tables to keep in sync (engines + ingress)
+        self._subscribers: List[InterNodeRoutes] = []
+        #: fn id -> node name (authoritative placement record)
+        self.placement: Dict[str, str] = {}
+        #: deployment event log (for tests/inspection)
+        self.events: List[tuple] = []
+
+    def subscribe(self, routes: InterNodeRoutes) -> None:
+        """Register a route table; it immediately receives known routes."""
+        self._subscribers.append(routes)
+        for fn_id, node in self.placement.items():
+            routes.set_route(fn_id, node)
+
+    def function_created(self, fn_id: str, node: str) -> None:
+        """Publish a new function's placement cluster-wide."""
+        self.placement[fn_id] = node
+        self.events.append(("created", fn_id, node))
+        for routes in self._subscribers:
+            routes.set_route(fn_id, node)
+
+    def function_terminated(self, fn_id: str) -> None:
+        """Withdraw a function's routes cluster-wide."""
+        self.placement.pop(fn_id, None)
+        self.events.append(("terminated", fn_id))
+        for routes in self._subscribers:
+            routes.remove_route(fn_id)
+
+    def node_of(self, fn_id: str) -> str:
+        try:
+            return self.placement[fn_id]
+        except KeyError:
+            raise KeyError(f"function {fn_id!r} is not deployed") from None

@@ -1,0 +1,191 @@
+"""Serverless function runtime.
+
+A deployed function is a user handler wrapped in Palladium's runtime:
+
+* a unified **inbox** fed by both intra-node SK_MSG deliveries and
+  inter-node Comch deliveries (the function just blocks in ``recv``);
+* a dispatcher that separates *requests* (queued to handler workers)
+  from *responses* (matched to pending invocations by request id);
+* an invocation context (:class:`FunctionContext`) giving handlers the
+  paper's I/O-library API — ``invoke`` a downstream function and wait,
+  or ``respond`` to the caller — without ever choosing a transport
+  (§3.5: "sparing developers from selecting the correct transport").
+
+Handlers are generators: ``def handler(ctx, msg): ... yield from
+ctx.compute(25) ... reply = yield from ctx.invoke("cart", req, 256)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from ..memory import BufferDescriptor
+from ..sim import Environment, Event, LatencyStats, Store
+
+__all__ = ["FunctionSpec", "FunctionInstance", "FunctionContext", "Message"]
+
+_rids = itertools.count(1)
+
+
+@dataclass
+class FunctionSpec:
+    """Static description of a serverless function."""
+
+    name: str
+    tenant: str
+    #: generator handler(ctx, msg); None = echo back the request payload
+    handler: Optional[Callable] = None
+    #: host-core microseconds of application logic per invocation
+    work_us: float = 50.0
+    #: maximum concurrent handler executions in this instance
+    concurrency: int = 64
+    #: typical response body bytes (used by the default echo handler)
+    response_bytes: int = 512
+
+
+@dataclass
+class Message:
+    """What a handler sees: payload + descriptor + metadata."""
+
+    payload: Any
+    size: int
+    meta: Dict[str, Any]
+    descriptor: BufferDescriptor = None
+
+    @property
+    def src(self) -> str:
+        return self.meta.get("src", "?")
+
+
+class FunctionContext:
+    """Per-invocation API handed to user handlers."""
+
+    def __init__(self, instance: "FunctionInstance", request: Message):
+        self.instance = instance
+        self.request = request
+        self.env = instance.env
+
+    def compute(self, host_us: Optional[float] = None):
+        """Generator: burn application-logic CPU time on the host."""
+        work = self.instance.spec.work_us if host_us is None else host_us
+        self.instance.app_time_us += work
+        yield from self.instance.cpu.execute(work)
+
+    def invoke(self, dst_fn: str, payload: Any, size: int):
+        """Generator: request/response invocation of another function."""
+        reply = yield from self.instance.invoke(dst_fn, payload, size)
+        return reply
+
+    def respond(self, payload: Any, size: int):
+        """Generator: send the response back to this request's caller."""
+        yield from self.instance.respond(self.request, payload, size)
+
+
+class FunctionInstance:
+    """One running function: inbox, dispatcher, handler workers."""
+
+    def __init__(self, env: Environment, spec: FunctionSpec, iolib):
+        self.env = env
+        self.spec = spec
+        self.iolib = iolib
+        self.cpu = iolib.cpu
+        self.agent = f"fn:{spec.name}"
+        self.inbox: Store = Store(env, name=f"inbox:{spec.name}")
+        self._requests: Store = Store(env, name=f"reqs:{spec.name}")
+        self._pending: Dict[int, Event] = {}
+        self.handled = 0
+        #: host-core us of application logic executed (for Fig. 16's
+        #: data-plane-vs-app CPU accounting)
+        self.app_time_us = 0.0
+        self.latency = LatencyStats(spec.name)
+        self._started = False
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self.env.process(self._dispatch_loop(), name=f"{self.spec.name}-dispatch")
+        for i in range(self.spec.concurrency):
+            self.env.process(self._handler_worker(), name=f"{self.spec.name}-w{i}")
+
+    # -- receive path ---------------------------------------------------------
+    def _dispatch_loop(self):
+        while True:
+            descriptor = yield self.inbox.get()
+            # Wake-up cost depends on how the descriptor arrived.
+            yield from self.cpu.execute(self.iolib.recv_cost_us(descriptor))
+            meta = descriptor.meta
+            if meta.get("kind") == "response":
+                event = self._pending.pop(meta["rid"], None)
+                if event is not None:
+                    event.succeed(descriptor)
+                else:
+                    # Response nobody awaits (caller timed out): recycle.
+                    self.iolib.recycle(descriptor.buffer, self.agent)
+            else:
+                self._requests.put(descriptor)
+
+    def _handler_worker(self):
+        while True:
+            descriptor = yield self._requests.get()
+            started = self.env.now
+            message = Message(
+                payload=descriptor.buffer.read(self.agent),
+                size=descriptor.length,
+                meta=dict(descriptor.meta),
+                descriptor=descriptor,
+            )
+            ctx = FunctionContext(self, message)
+            handler = self.spec.handler or _echo_handler
+            yield from handler(ctx, message)
+            self.handled += 1
+            self.latency.record(self.env.now - started)
+
+    # -- invocation API ------------------------------------------------------------
+    def invoke(self, dst_fn: str, payload: Any, size: int):
+        """Generator: RPC to ``dst_fn``; returns the reply :class:`Message`."""
+        rid = next(_rids)
+        event = self.env.event()
+        self._pending[rid] = event
+        meta = {
+            "kind": "request",
+            "rid": rid,
+            "src": self.spec.name,
+            "dst": dst_fn,
+            "reply_to": self.spec.name,
+            "tenant": self.spec.tenant,
+        }
+        yield from self.iolib.send(self.agent, dst_fn, payload, size, meta)
+        reply_desc = yield event
+        reply = Message(
+            payload=reply_desc.buffer.read(self.agent),
+            size=reply_desc.length,
+            meta=dict(reply_desc.meta),
+            descriptor=reply_desc,
+        )
+        # The runtime owns the reply buffer; recycle it after the read.
+        self.iolib.recycle(reply_desc.buffer, self.agent)
+        return reply
+
+    def respond(self, request: Message, payload: Any, size: int):
+        """Generator: answer ``request``, reusing its buffer (zero-copy)."""
+        meta = {
+            "kind": "response",
+            "rid": request.meta["rid"],
+            "src": self.spec.name,
+            "dst": request.meta["reply_to"],
+            "tenant": self.spec.tenant,
+        }
+        yield from self.iolib.send_buffer(
+            self.agent, request.meta["reply_to"], request.descriptor.buffer,
+            payload, size, meta,
+        )
+
+
+def _echo_handler(ctx: FunctionContext, msg: Message):
+    """Default handler: compute, then echo the payload back."""
+    yield from ctx.compute()
+    yield from ctx.respond(msg.payload, msg.size)

@@ -1,0 +1,221 @@
+"""The unified I/O library and per-node runtime context (§3.5).
+
+:class:`NodeRuntime` bundles everything a worker node's data plane
+needs: the sockmap for intra-node SK_MSG IPC, the intra-node routing
+table, the node's network engine (DNE/CNE/baseline engine), per-tenant
+memory pools, and the sidecar cost model.
+
+:class:`IoLibrary` is the function-facing API: a single ``send`` that
+transparently routes intra-node (descriptor over SK_MSG, green arrow of
+Fig. 7) or inter-node (descriptor to the engine over Comch, violet
+arrows), performing the token-passing ownership transfer either way.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..config import CostModel
+from ..dne.engine import NetworkEngine
+from ..dne.routing import IntraNodeRoutes
+from ..hw import Node
+from ..memory import Buffer, BufferDescriptor, MemoryPool
+from ..net import SockMap
+from ..sim import Environment, Store
+
+__all__ = ["NodeRuntime", "IoLibrary"]
+
+
+class NodeRuntime:
+    """Everything the data plane shares on one worker node."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node: Node,
+        cost: CostModel,
+        engine: Optional[NetworkEngine] = None,
+        sidecar_us: Optional[float] = None,
+        intra_ipc_us: Optional[float] = None,
+    ):
+        self.env = env
+        self.node = node
+        self.cost = cost
+        self.engine = engine
+        self.sockmap = SockMap(env, cost, name=f"sockmap:{node.name}")
+        self.intra_routes = IntraNodeRoutes(node.name)
+        self.pools: Dict[str, MemoryPool] = {}
+        #: endpoint id -> owning tenant (None for trusted infrastructure
+        #: adapters) — drives the cross-security-domain copy rule (§3.1)
+        self.endpoint_tenants: Dict[str, Optional[str]] = {}
+        #: per-message sidecar (service mesh) cost; Palladium's
+        #: lightweight eBPF sidecar by default (§3.1)
+        self.sidecar_us = cost.ebpf_sidecar_us if sidecar_us is None else sidecar_us
+        #: override for intra-node descriptor IPC cost (NightCore's
+        #: shared-memory queues differ slightly from SK_MSG)
+        self.intra_ipc_us = cost.sk_msg_us if intra_ipc_us is None else intra_ipc_us
+
+    def add_pool(self, tenant: str, pool: MemoryPool) -> None:
+        self.pools[tenant] = pool
+
+    def pool_for(self, tenant: str) -> MemoryPool:
+        try:
+            return self.pools[tenant]
+        except KeyError:
+            raise KeyError(
+                f"tenant {tenant!r} has no memory pool on {self.node.name}"
+            ) from None
+
+    def register_endpoint(self, fn_id: str, inbox: Store,
+                          tenant: Optional[str] = None) -> None:
+        """Wire a function (or pseudo-function adapter) into the node.
+
+        Registers the unified inbox with the sockmap (intra-node) and,
+        if the node has an engine, with its descriptor channel
+        (inter-node), then publishes the intra-node route.  ``tenant``
+        marks the endpoint's security domain; ``None`` means trusted
+        infrastructure (ingress/TCP adapters), which every tenant may
+        talk to without a domain crossing.
+        """
+        self.sockmap.register(fn_id, inbox)
+        if self.engine is not None:
+            self.engine.channel.attach(fn_id, inbox)
+        self.intra_routes.add_function(fn_id)
+        self.endpoint_tenants[fn_id] = tenant
+
+    def crosses_security_domain(self, tenant: str, dst_fn: str) -> bool:
+        """True when sending to ``dst_fn`` leaves ``tenant``'s domain.
+
+        Palladium's security model (§3.1): only functions of the same
+        tenant share memory; crossing domains requires an explicit
+        CPU copy.  Infrastructure endpoints (tenant None) are trusted.
+        """
+        dst_tenant = self.endpoint_tenants.get(dst_fn)
+        return dst_tenant is not None and dst_tenant != tenant
+
+
+class IoLibrary:
+    """Per-function transport-agnostic send/receive API."""
+
+    VIA_SKMSG = "skmsg"
+    VIA_ENGINE = "engine"
+
+    def __init__(self, runtime: NodeRuntime, fn_id: str, tenant: str):
+        self.runtime = runtime
+        self.env = runtime.env
+        self.cost = runtime.cost
+        self.fn_id = fn_id
+        self.tenant = tenant
+        self.cpu = runtime.node.cpu
+        self.intra_sends = 0
+        self.inter_sends = 0
+        self.cross_domain_sends = 0
+
+    # -- send path -------------------------------------------------------------
+    def send(self, src_agent: str, dst_fn: str, payload: Any, size: int, meta: Dict):
+        """Generator: allocate a buffer, fill it, and route it to ``dst_fn``."""
+        pool = self.runtime.pool_for(self.tenant)
+        buffer = yield from pool.get_wait(src_agent)
+        yield from self.send_buffer(src_agent, dst_fn, buffer, payload, size, meta,
+                                    extra_cpu_us=self.cost.mempool_op_us)
+
+    def send_buffer(
+        self,
+        src_agent: str,
+        dst_fn: str,
+        buffer: Buffer,
+        payload: Any,
+        size: int,
+        meta: Dict,
+        extra_cpu_us: float = 0.0,
+    ):
+        """Generator: fill ``buffer`` and route it (zero-copy reuse path).
+
+        The sidecar, allocator, and IPC CPU charges are batched into a
+        single core claim (they execute back-to-back in the sender's
+        syscall context on the real system).
+        """
+        buffer.write(src_agent, payload, size)
+        # Logical-service resolution (elastic replicas; identity for
+        # plain function names).
+        resolve = getattr(self.runtime, "resolve_service", None)
+        if resolve is not None:
+            dst_fn = resolve(dst_fn)
+        meta = dict(meta)
+        meta["dst"] = dst_fn
+        if self.runtime.crosses_security_domain(self.tenant, dst_fn):
+            yield from self._send_cross_domain(src_agent, dst_fn, buffer,
+                                               payload, size, meta,
+                                               extra_cpu_us)
+        elif self.runtime.intra_routes.is_local(dst_fn):
+            meta["_via"] = self.VIA_SKMSG
+            descriptor = BufferDescriptor(buffer=buffer, length=size, meta=meta)
+            buffer.transfer(src_agent, f"fn:{dst_fn}")
+            yield from self.cpu.execute(
+                extra_cpu_us + self.runtime.sidecar_us + self.cost.sk_msg_us
+            )
+            self.runtime.sockmap.redirect(dst_fn, descriptor)
+            self.intra_sends += 1
+        else:
+            engine = self.runtime.engine
+            if engine is None:
+                raise RuntimeError(
+                    f"{self.fn_id}: destination {dst_fn!r} is remote but node "
+                    f"{self.runtime.node.name} has no network engine"
+                )
+            meta["_via"] = self.VIA_ENGINE
+            descriptor = BufferDescriptor(buffer=buffer, length=size, meta=meta)
+            buffer.transfer(src_agent, engine.agent)
+            yield from self.cpu.execute(
+                extra_cpu_us + self.runtime.sidecar_us
+                + engine.channel.fn_cpu_us
+            )
+            engine.channel.post_from_function(self.fn_id, descriptor)
+            self.inter_sends += 1
+
+    def _send_cross_domain(self, src_agent: str, dst_fn: str, buffer: Buffer,
+                           payload, size: int, meta: Dict,
+                           extra_cpu_us: float):
+        """Generator: explicit CPU copy across security domains (§3.1).
+
+        The payload is copied out of the sender tenant's pool into a
+        buffer of the *destination* tenant's pool; the sender's buffer
+        never leaves its domain.  Only intra-node crossings are
+        supported (matching the paper's tenant-per-chain model).
+        """
+        dst_tenant = self.runtime.endpoint_tenants[dst_fn]
+        if not self.runtime.intra_routes.is_local(dst_fn):
+            raise RuntimeError(
+                f"{self.fn_id}: cross-tenant destination {dst_fn!r} is not "
+                f"local; inter-node crossings must go through an ingress"
+            )
+        dst_pool = self.runtime.pool_for(dst_tenant)
+        dst_buffer = yield from dst_pool.get_wait(src_agent)
+        # The copy itself plus sidecar access control, on the host core.
+        yield from self.cpu.execute(
+            extra_cpu_us + self.runtime.sidecar_us
+            + self.cost.copy_time(size) + self.cost.sk_msg_us
+        )
+        dst_buffer.write(src_agent, payload, size)
+        meta["_via"] = self.VIA_SKMSG
+        meta["_crossed_domain"] = True
+        descriptor = BufferDescriptor(buffer=dst_buffer, length=size, meta=meta)
+        dst_buffer.transfer(src_agent, f"fn:{dst_fn}")
+        self.runtime.sockmap.redirect(dst_fn, descriptor)
+        # Sender keeps (and recycles) its own buffer: no shared memory
+        # ever crossed the domain boundary.
+        buffer.pool.put(buffer, src_agent)
+        self.cross_domain_sends += 1
+
+    # -- receive path ------------------------------------------------------------
+    def recv_cost_us(self, descriptor: BufferDescriptor) -> float:
+        """Host-core cost of waking up for this delivery."""
+        via = descriptor.meta.get("_via", self.VIA_SKMSG)
+        if via == self.VIA_ENGINE and self.runtime.engine is not None:
+            return self.runtime.engine.channel.function_recv_cost_us()
+        return self.runtime.intra_ipc_us
+
+    def recycle(self, buffer: Buffer, agent: str) -> None:
+        """Return a consumed buffer to its home pool."""
+        if buffer.pool is not None:
+            buffer.pool.put(buffer, agent)

@@ -1,0 +1,50 @@
+"""Tenants and function chains.
+
+Palladium treats each function chain as an independent tenant (§3.1)
+with an exclusive unified memory pool per node and a DWRR weight at the
+DNE.  A :class:`ChainSpec` names the entry function and the expected
+call structure (used by workload generators and documentation; the
+actual call graph is encoded in the functions' handlers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["Tenant", "ChainSpec"]
+
+
+@dataclass
+class Tenant:
+    """One tenant: isolation domain + scheduling weight."""
+
+    name: str
+    weight: float = 1.0
+    #: per-node pool sizing
+    pool_buffers: int = 512
+    buffer_bytes: int = 8192
+
+    def __post_init__(self):
+        if self.weight <= 0:
+            raise ValueError(f"tenant weight must be positive, got {self.weight}")
+        if self.pool_buffers < 1:
+            raise ValueError("tenant pool needs at least one buffer")
+
+
+@dataclass
+class ChainSpec:
+    """A named function chain (one invocation path through an app)."""
+
+    name: str
+    tenant: str
+    entry: str
+    #: documented hops as (caller, callee) pairs; informational
+    hops: List[Tuple[str, str]] = field(default_factory=list)
+    #: request body bytes presented at the ingress
+    request_bytes: int = 256
+
+    @property
+    def exchange_count(self) -> int:
+        """Data exchanges per request (each hop = request + response)."""
+        return 2 * len(self.hops)

@@ -1,0 +1,30 @@
+"""RDMA substrate: verbs, queue pairs, RNIC model, connections, locks."""
+
+from .connection import ConnectionManager
+from .fabric import RdmaFabric
+from .locks import DistributedLock, LockStats, Rendezvous
+from .mr import MemoryRegion, MemoryRegionTable, RegistrationError
+from .qp import QPState, QueuePair, ReceiveBufferRegistry, SharedReceiveQueue
+from .rnic import AtomicWord, Rnic
+from .verbs import Completion, Opcode, RDMA_HEADER_BYTES, WorkRequest
+
+__all__ = [
+    "AtomicWord",
+    "Completion",
+    "ConnectionManager",
+    "DistributedLock",
+    "LockStats",
+    "MemoryRegion",
+    "MemoryRegionTable",
+    "Opcode",
+    "QPState",
+    "QueuePair",
+    "RDMA_HEADER_BYTES",
+    "RdmaFabric",
+    "ReceiveBufferRegistry",
+    "RegistrationError",
+    "Rendezvous",
+    "Rnic",
+    "SharedReceiveQueue",
+    "WorkRequest",
+]

@@ -1,0 +1,155 @@
+"""RC connection management with pooling and shadow QPs (§3.3).
+
+Establishing an RC connection costs tens of milliseconds, so the DNE
+keeps a pool of pre-established connections per (remote node, tenant)
+and only *activates* them when they carry work.  Inactive (shadow) QPs
+consume no RNIC resources; the node-wide count of active QPs is what
+the RNIC's thrash model watches.  Activation needs no cross-node state
+synchronization (RoGUE's scheme), only a small local cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..config import CostModel
+from ..sim import Environment
+
+from .fabric import RdmaFabric
+from .qp import QPState, QueuePair
+
+__all__ = ["ConnectionManager"]
+
+
+class ConnectionManager:
+    """Per-node manager of the pooled RC connections (lives in the DNE)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        fabric: RdmaFabric,
+        node: str,
+        cost: CostModel,
+        conns_per_peer: int = 4,
+        tenant_active_quota: Optional[int] = None,
+    ):
+        self.env = env
+        self.fabric = fabric
+        self.node = node
+        self.cost = cost
+        self.conns_per_peer = conns_per_peer
+        #: maximum *active* QPs a single tenant may hold node-wide.
+        #: The DNE's answer to the rogue tenant of §2.1 that "could
+        #: occupy a set of QPs for a long time, starving other tenants":
+        #: past the quota, the tenant multiplexes its existing active
+        #: QPs instead of activating more.
+        self.tenant_active_quota = tenant_active_quota
+        self._pool: Dict[Tuple[str, str], List[QueuePair]] = {}
+        self.connections_established = 0
+        self.setup_time_spent = 0.0
+        self.quota_denials = 0
+
+    def _establish(self, remote_node: str, tenant: str):
+        """Generator: full RC handshake (tens of milliseconds, §3.3)."""
+        yield self.env.timeout(self.cost.rc_setup_us)
+        local = QueuePair(self.node, remote_node, tenant)
+        peer = QueuePair(remote_node, self.node, tenant)
+        local.peer, peer.peer = peer, local
+        self.connections_established += 1
+        self.setup_time_spent += self.cost.rc_setup_us
+        return local
+
+    def warm_up(self, remote_node: str, tenant: str, count: int = 0):
+        """Generator: pre-establish the connection pool to a peer.
+
+        Palladium does this off the critical path so data transfers
+        never pay the RC handshake.  The handshakes proceed in
+        parallel (they are independent QPs).
+        """
+        key = (remote_node, tenant)
+        pool = self._pool.setdefault(key, [])
+        target = count or self.conns_per_peer
+        needed = target - len(pool)
+        if needed <= 0:
+            return list(pool)
+        procs = [
+            self.env.process(self._establish(remote_node, tenant),
+                             name=f"rc-setup:{self.node}->{remote_node}")
+            for _ in range(needed)
+        ]
+        done = yield self.env.all_of(procs)
+        pool.extend(proc.value for proc in procs)
+        return list(pool)
+
+    def get_connection(self, remote_node: str, tenant: str):
+        """Generator: return the least-congested usable QP to a peer.
+
+        Prefers active QPs (no activation cost); activates a shadow QP
+        when all active ones are loaded; establishes a brand-new
+        connection only when the pool is empty (cold start).
+        """
+        key = (remote_node, tenant)
+        pool = self._pool.setdefault(key, [])
+        if not pool:
+            qp = yield from self._establish(remote_node, tenant)
+            pool.append(qp)
+        active = [qp for qp in pool if qp.is_active]
+        if active:
+            best = min(active, key=lambda qp: qp.pending_wrs)
+            # Activate another shadow QP when existing ones are congested.
+            if best.pending_wrs > 8:
+                if not self._within_quota(tenant):
+                    self.quota_denials += 1
+                    return best  # multiplex: no more active QPs for you
+                inactive = [qp for qp in pool if not qp.is_active]
+                if inactive:
+                    best = inactive[0]
+                    yield from self._activate(best)
+            return best
+        best = pool[0]
+        yield from self._activate(best)
+        return best
+
+    def tenant_active_count(self, tenant: str) -> int:
+        """Active QPs this tenant holds across all peers."""
+        return sum(
+            1 for (peer, t), pool in self._pool.items() if t == tenant
+            for qp in pool if qp.is_active
+        )
+
+    def _within_quota(self, tenant: str) -> bool:
+        if self.tenant_active_quota is None:
+            return True
+        return self.tenant_active_count(tenant) < self.tenant_active_quota
+
+    def _activate(self, qp: QueuePair):
+        """Generator: promote a shadow QP to active (local-only, cheap)."""
+        if qp.state != QPState.ACTIVE:
+            yield self.env.timeout(self.cost.qp_activate_us)
+            qp.state = QPState.ACTIVE
+            self.fabric.rnic(self.node).active_qps += 1
+        return qp
+
+    def deactivate_idle(self) -> int:
+        """Demote QPs with no pending work back to shadow state.
+
+        Called periodically by the DNE core thread; returns the number
+        of QPs deactivated.
+        """
+        demoted = 0
+        rnic = self.fabric.rnic(self.node)
+        for pool in self._pool.values():
+            for qp in pool:
+                if qp.is_active and qp.pending_wrs == 0:
+                    qp.state = QPState.INACTIVE
+                    rnic.active_qps -= 1
+                    demoted += 1
+        return demoted
+
+    def active_count(self) -> int:
+        return sum(
+            1 for pool in self._pool.values() for qp in pool if qp.is_active
+        )
+
+    def pooled_count(self) -> int:
+        return sum(len(pool) for pool in self._pool.values())

@@ -1,0 +1,121 @@
+"""Distributed synchronization for the one-sided baselines (§2.1, Fig. 2).
+
+The paper's OWDL baseline coordinates one-sided writes with either a
+distributed lock or MPI-style rendezvous.  Both are implemented here so
+Fig. 12 can benchmark them against two-sided RDMA:
+
+* :class:`DistributedLock` — spin on a remote 8-byte word with RDMA
+  CAS; release with a CAS back to 0.  Each acquire attempt costs a full
+  fabric round trip, which is exactly why OWDL loses.
+* :class:`Rendezvous` — the receiver announces a ready buffer, the
+  sender waits for that announcement before writing (RDMA-read-based
+  rendezvous of Sur et al.), costing an extra control round trip.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict
+
+from ..config import CostModel
+from ..sim import Environment, FilterStore
+
+from .fabric import RdmaFabric
+from .qp import QueuePair
+from .rnic import AtomicWord
+from .verbs import Opcode, WorkRequest
+
+__all__ = ["DistributedLock", "Rendezvous", "LockStats"]
+
+
+class LockStats:
+    """Counters describing distributed-lock behaviour."""
+
+    def __init__(self):
+        self.acquires = 0
+        self.cas_attempts = 0
+        self.contended_retries = 0
+
+
+class DistributedLock:
+    """A CAS-based spin lock on a remote lock word."""
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        env: Environment,
+        fabric: RdmaFabric,
+        home_node: str,
+        cost: CostModel,
+        name: str = "",
+    ):
+        self.env = env
+        self.fabric = fabric
+        self.cost = cost
+        self.word = AtomicWord(home_node, 0, name or f"dlock{next(self._ids)}")
+        self.stats = LockStats()
+
+    def _cas(self, qp: QueuePair, holder_id: int, compare: int, swap: int):
+        """Generator: one CAS round trip, returns the old value."""
+        rnic = self.fabric.rnic(qp.local_node)
+        wr = WorkRequest(opcode=Opcode.CAS, compare=compare, swap=swap,
+                         signaled=False)
+        wr.meta["word"] = self.word
+        completion = yield from rnic.execute(qp, wr)
+        self.stats.cas_attempts += 1
+        return completion.old_value
+
+    def acquire(self, qp: QueuePair, holder_id: int):
+        """Generator: spin until the lock word is ours."""
+        backoff = self.cost.dist_lock_overhead_us
+        while True:
+            old = yield from self._cas(qp, holder_id, 0, holder_id)
+            if old == 0:
+                self.stats.acquires += 1
+                # protocol bookkeeping beyond the raw CAS round trips
+                yield self.env.timeout(self.cost.dist_lock_overhead_us)
+                return
+            self.stats.contended_retries += 1
+            yield self.env.timeout(backoff)
+            backoff = min(backoff * 2, 64.0)
+
+    def release(self, qp: QueuePair, holder_id: int):
+        """Generator: CAS the word back to free."""
+        old = yield from self._cas(qp, holder_id, holder_id, 0)
+        if old != holder_id:
+            raise RuntimeError(
+                f"lock {self.word.name} released by non-holder {holder_id} (word={old})"
+            )
+
+
+class Rendezvous:
+    """Receiver-announced buffer readiness for one-sided transfers.
+
+    The receiver calls :meth:`announce` when a buffer is safe to write;
+    the sender's :meth:`await_ready` blocks until an announcement for
+    its flow arrives (carried over the fabric as a small control
+    message, one extra one-way latency).
+    """
+
+    def __init__(self, env: Environment, fabric: RdmaFabric, cost: CostModel):
+        self.env = env
+        self.fabric = fabric
+        self.cost = cost
+        self._ready: Dict[str, FilterStore] = {}
+
+    def _store(self, node: str) -> FilterStore:
+        if node not in self._ready:
+            self._ready[node] = FilterStore(self.env, name=f"rendezvous:{node}")
+        return self._ready[node]
+
+    def announce(self, sender_node: str, receiver_node: str, flow: str, buffer):
+        """Generator: receiver tells the sender ``buffer`` is writable."""
+        link = self.fabric.link(receiver_node, sender_node)
+        yield from link.transmit(32)
+        self._store(sender_node).put({"flow": flow, "buffer": buffer})
+
+    def await_ready(self, sender_node: str, flow: str):
+        """Generator: sender waits for a writable remote buffer."""
+        item = yield self._store(sender_node).get(lambda m: m["flow"] == flow)
+        return item["buffer"]

@@ -1,0 +1,86 @@
+"""Memory regions and the RNIC's translation-table (MTT) cache.
+
+Before the RNIC may DMA into a pool, the pool must be registered as a
+memory region.  Palladium registers each tenant's unified pool exactly
+once, from the DNE, via the cross-processor map (§3.4.2).  Hugepage
+backing keeps the number of MTT entries small (§3.4); when the working
+set of registered translations exceeds the on-NIC cache, per-op cost
+inflates — the same effect that motivates the paper's shadow-QP cap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..memory import Buffer, MemoryPool, RemoteMap
+
+__all__ = ["MemoryRegion", "MemoryRegionTable", "RegistrationError"]
+
+
+class RegistrationError(PermissionError):
+    """An RNIC operation referenced unregistered memory."""
+
+
+@dataclass
+class MemoryRegion:
+    """One registered memory region (a whole tenant pool)."""
+
+    pool: MemoryPool
+    tenant: str
+    mtt_entries: int
+    #: lkey/rkey stand-in
+    key: int
+
+
+class MemoryRegionTable:
+    """Registered regions of one RNIC + a simple MTT cache model."""
+
+    def __init__(self, mtt_cache_entries: int = 2048):
+        self._regions: Dict[int, MemoryRegion] = {}  # pool id -> region
+        self._next_key = 1
+        self.mtt_cache_entries = mtt_cache_entries
+
+    def register_pool(self, pool: MemoryPool, remote_map: Optional[RemoteMap] = None) -> MemoryRegion:
+        """Register ``pool`` (optionally via a cross-processor map).
+
+        When the registration comes from the DPU side — the Palladium
+        path — the caller must hold a :class:`~repro.memory.RemoteMap`
+        with the RDMA grant, which we verify, reproducing the DOCA
+        permission model.
+        """
+        if remote_map is not None:
+            if remote_map.pool is not pool:
+                raise RegistrationError("remote map does not describe this pool")
+            remote_map.require_rdma()
+            remote_map.registered_with_rnic = True
+        if id(pool) in self._regions:
+            return self._regions[id(pool)]
+        region = MemoryRegion(
+            pool=pool, tenant=pool.tenant, mtt_entries=pool.mtt_entries,
+            key=self._next_key,
+        )
+        self._next_key += 1
+        self._regions[id(pool)] = region
+        return region
+
+    def deregister_pool(self, pool: MemoryPool) -> None:
+        self._regions.pop(id(pool), None)
+
+    def lookup_buffer(self, buffer: Buffer) -> MemoryRegion:
+        """Find the region covering ``buffer`` or raise."""
+        region = self._regions.get(id(buffer.pool))
+        if region is None:
+            raise RegistrationError(
+                f"buffer {buffer.buffer_id} is not in any registered memory region"
+            )
+        return region
+
+    @property
+    def total_mtt_entries(self) -> int:
+        return sum(r.mtt_entries for r in self._regions.values())
+
+    @property
+    def mtt_thrashing(self) -> bool:
+        """True when translations exceed the on-NIC cache."""
+        return self.total_mtt_entries > self.mtt_cache_entries

@@ -1,0 +1,126 @@
+"""Queue pairs, shared receive queues, and the receive-buffer registry.
+
+Palladium's QP layout (§3.3, §3.5.2):
+
+* RC QPs give dedicated point-to-point reliable connections between
+  peer nodes; a tenant may own several (proxied by the DNE).
+* All of a tenant's RCQPs on a node share a **single receive queue**
+  posted exclusively with buffers from that tenant's pool, so the RNIC
+  always lands incoming data in the right pool.
+* All RCQPs on a node share one **completion queue**.
+* The **receive buffer registry (RBR)** maps posted WRs to their
+  buffers so the RX stage can recover the buffer from a CQE.
+* QPs are *active* while they have WRs queued, otherwise *inactive*;
+  inactive QPs consume no RNIC resources (shadow-QP scheme of RoGUE).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+from ..memory import Buffer, BufferState
+from ..sim import Environment, Store
+
+__all__ = ["QueuePair", "QPState", "SharedReceiveQueue", "ReceiveBufferRegistry"]
+
+_qp_ids = itertools.count(1)
+
+
+class QPState:
+    ACTIVE = "active"
+    INACTIVE = "inactive"
+
+
+class QueuePair:
+    """One RC queue pair (one end of a reliable connection)."""
+
+    def __init__(self, local_node: str, remote_node: str, tenant: str):
+        self.qp_id = next(_qp_ids)
+        self.local_node = local_node
+        self.remote_node = remote_node
+        self.tenant = tenant
+        self.state = QPState.INACTIVE
+        #: WRs posted but not yet completed (drives shadow activation).
+        self.pending_wrs = 0
+        self.sends_posted = 0
+        self.peer: Optional["QueuePair"] = None
+
+    @property
+    def is_active(self) -> bool:
+        return self.state == QPState.ACTIVE
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<QP {self.qp_id} {self.local_node}->{self.remote_node} "
+            f"tenant={self.tenant} {self.state} pending={self.pending_wrs}>"
+        )
+
+
+class ReceiveBufferRegistry:
+    """The RBR table: WR id -> posted receive buffer (§3.5.2)."""
+
+    def __init__(self):
+        self._table: Dict[int, Buffer] = {}
+        self.posted = 0
+        self.consumed = 0
+
+    def insert(self, wr_id: int, buffer: Buffer) -> None:
+        if wr_id in self._table:
+            raise KeyError(f"duplicate RBR entry for WR {wr_id}")
+        self._table[wr_id] = buffer
+        self.posted += 1
+
+    def consume(self, wr_id: int) -> Buffer:
+        try:
+            buffer = self._table.pop(wr_id)
+        except KeyError:
+            raise KeyError(f"no RBR entry for WR {wr_id}") from None
+        self.consumed += 1
+        return buffer
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+
+class SharedReceiveQueue:
+    """Per-tenant shared RQ on one node.
+
+    The DNE posts receive buffers (from the tenant's pool) keyed by a
+    fresh WR id; arriving SENDs consume them in FIFO order.  The
+    ``consumed`` counter is what the DNE core thread monitors to
+    replenish buffers (§3.5.2, red arrows in Fig. 7).
+    """
+
+    def __init__(self, env: Environment, node: str, tenant: str):
+        self.env = env
+        self.node = node
+        self.tenant = tenant
+        #: FIFO of (wr_id, buffer) available for arrivals
+        self._queue: Store = Store(env, name=f"srq:{node}:{tenant}")
+        self.rbr = ReceiveBufferRegistry()
+        self._wr_seq = itertools.count(1)
+        #: completions consumed since last replenish check
+        self.consumed_since_replenish = 0
+
+    def post(self, buffer: Buffer, owner: str) -> int:
+        """Post one receive buffer; ownership moves to the RNIC."""
+        buffer.check_owner(owner)
+        wr_id = next(self._wr_seq)
+        buffer.owner = f"rnic:{self.node}"
+        buffer.state = BufferState.POSTED
+        self.rbr.insert(wr_id, buffer)
+        self._queue.put_nowait((wr_id, buffer))
+        return wr_id
+
+    def take(self):
+        """Event yielding the next ``(wr_id, buffer)``; blocks if empty.
+
+        An empty shared RQ corresponds to an RNR condition on real
+        hardware — the sender stalls until the receiver replenishes.
+        """
+        return self._queue.get()
+
+    @property
+    def depth(self) -> int:
+        return len(self._queue.items)

@@ -1,0 +1,257 @@
+"""The RNIC device model: executes posted verbs over the fabric.
+
+Each fabric endpoint (two workers' Bluefield-integrated ConnectX-6s and
+the ingress node's standalone ConnectX-6) owns one :class:`Rnic`.  The
+model executes one transfer per posted work request:
+
+* sender-side NIC pipeline time (WQE fetch + per-byte host DMA, which
+  is the "RNIC DMA at line rate" of §2.1),
+* wire serialization + switch latency on the directed fabric link,
+* receiver-side pipeline, and per-opcode semantics:
+
+  - ``SEND`` consumes a buffer from the destination tenant's shared RQ
+    (blocking when empty, the RNR condition) and raises a receive CQE;
+  - ``WRITE``/``READ`` touch the remote buffer directly with *no*
+    receiver-side notification — including the data-race window that
+    §2.1 warns about, which we detect and count;
+  - ``CAS`` atomically updates a remote 8-byte word (lock primitive).
+
+Verbs can be *posted* (``post_send`` — asynchronous, completion
+surfaces on the node's CQ for the polling engine) or *executed inline*
+(``execute`` — a generator that returns the initiator-side completion,
+used by components that block on their own operation, e.g. the
+distributed-lock protocol).
+
+Shadow-QP economics (§3.3): only *active* QPs occupy RNIC state; when a
+node's active-QP count exceeds ``max_active_qps``, every operation pays
+the cache-thrash penalty.  The same penalty applies when registered
+translations overflow the MTT cache (§3.4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, TYPE_CHECKING
+
+from ..config import CostModel
+from ..memory import Buffer, BufferState, MemoryPool, RemoteMap
+from ..sim import Environment, FilterStore, Process, Resource
+
+from .mr import MemoryRegionTable
+from .qp import QueuePair, SharedReceiveQueue
+from .verbs import Completion, Opcode, RDMA_HEADER_BYTES, WorkRequest
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .fabric import RdmaFabric
+
+__all__ = ["Rnic", "AtomicWord"]
+
+
+class AtomicWord:
+    """A remotely addressable 8-byte word (CAS target, lock word)."""
+
+    def __init__(self, node: str, value: int = 0, name: str = ""):
+        self.node = node
+        self.value = value
+        self.name = name or "word"
+
+
+class Rnic:
+    """One RDMA NIC attached to the fabric."""
+
+    def __init__(
+        self,
+        env: Environment,
+        fabric: "RdmaFabric",
+        node: str,
+        cost: CostModel,
+    ):
+        self.env = env
+        self.fabric = fabric
+        self.node = node
+        self.cost = cost
+        self.mrt = MemoryRegionTable()
+        #: the node's single completion queue (§3.3); FilterStore so a
+        #: consumer can also wait for a specific completion.
+        self.cq: FilterStore = FilterStore(env, name=f"cq:{node}")
+        #: per-tenant shared receive queues
+        self.srqs: Dict[str, SharedReceiveQueue] = {}
+        #: serializes the NIC's host-DMA/WQE pipelines
+        self._tx_pipe = Resource(env, capacity=1, name=f"rnic:{node}:tx")
+        self._rx_pipe = Resource(env, capacity=1, name=f"rnic:{node}:rx")
+        #: number of currently active QPs on this node
+        self.active_qps = 0
+        #: one-sided writes that landed on a buffer an agent was using
+        self.potential_races = 0
+        self.ops_completed = 0
+
+    # -- setup ----------------------------------------------------------------
+    def register_pool(self, pool: MemoryPool, remote_map: Optional[RemoteMap] = None):
+        """Register a tenant pool as a memory region (DNE core thread)."""
+        return self.mrt.register_pool(pool, remote_map)
+
+    def srq(self, tenant: str) -> SharedReceiveQueue:
+        """The tenant's shared receive queue, created on first use."""
+        if tenant not in self.srqs:
+            self.srqs[tenant] = SharedReceiveQueue(self.env, self.node, tenant)
+        return self.srqs[tenant]
+
+    def post_recv(self, tenant: str, buffer: Buffer, owner: str) -> int:
+        """Post a receive buffer to the tenant's shared RQ."""
+        self.mrt.lookup_buffer(buffer)
+        return self.srq(tenant).post(buffer, owner)
+
+    # -- cost helpers ----------------------------------------------------------
+    def _op_penalty(self) -> float:
+        penalized = (
+            self.active_qps > self.cost.max_active_qps or self.mrt.mtt_thrashing
+        )
+        return self.cost.qp_thrash_penalty if penalized else 1.0
+
+    def _pipe_time(self, payload_bytes: int) -> float:
+        return (
+            self.cost.rnic_op_us * self._op_penalty()
+            + self.cost.endhost_time(payload_bytes)
+        )
+
+    # -- posting -----------------------------------------------------------------
+    def post_send(self, qp: QueuePair, wr: WorkRequest) -> Process:
+        """Post a WR asynchronously; its completion lands on the CQ."""
+        self._validate(qp, wr)
+        qp.pending_wrs += 1
+        qp.sends_posted += 1
+        return self.env.process(self._run_posted(qp, wr), name=f"wr{wr.wr_id}")
+
+    def execute(self, qp: QueuePair, wr: WorkRequest):
+        """Generator: run a WR inline, returning the local completion."""
+        self._validate(qp, wr)
+        qp.pending_wrs += 1
+        try:
+            completion = yield from self._execute(qp, wr)
+        finally:
+            qp.pending_wrs -= 1
+        self.ops_completed += 1
+        if wr.signaled:
+            self.cq.put_nowait(completion)
+        return completion
+
+    def _validate(self, qp: QueuePair, wr: WorkRequest) -> None:
+        if qp.local_node != self.node:
+            raise ValueError(f"QP {qp.qp_id} does not belong to RNIC {self.node}")
+        if wr.buffer is not None:
+            self.mrt.lookup_buffer(wr.buffer)
+
+    def _run_posted(self, qp: QueuePair, wr: WorkRequest):
+        try:
+            completion = yield from self._execute(qp, wr)
+        finally:
+            qp.pending_wrs -= 1
+        self.ops_completed += 1
+        if wr.signaled:
+            self.cq.put_nowait(completion)
+        return completion
+
+    # -- execution ------------------------------------------------------------------
+    def _execute(self, qp: QueuePair, wr: WorkRequest):
+        remote = self.fabric.rnic(qp.remote_node)
+        link = self.fabric.link(self.node, qp.remote_node)
+
+        # Sender NIC pipeline: WQE fetch + host-memory DMA at line rate.
+        payload = wr.length if wr.opcode in (Opcode.SEND, Opcode.WRITE) else 0
+        yield from self._tx_pipe.use(self._pipe_time(payload))
+
+        # Wire.
+        yield from link.transmit(wr.wire_bytes())
+
+        if wr.opcode == Opcode.SEND:
+            return (yield from self._complete_send(qp, wr, remote))
+        if wr.opcode == Opcode.WRITE:
+            return (yield from self._complete_write(qp, wr, remote))
+        if wr.opcode == Opcode.READ:
+            return (yield from self._complete_read(qp, wr, remote))
+        if wr.opcode == Opcode.CAS:
+            return (yield from self._complete_cas(qp, wr, remote))
+        raise ValueError(f"unknown opcode {wr.opcode!r}")
+
+    def _complete_send(self, qp: QueuePair, wr: WorkRequest, remote: "Rnic"):
+        srq = remote.srq(qp.tenant)
+        # RNR when the shared RQ is empty: stall until replenished.
+        recv_wr_id, recv_buffer = yield srq.take()
+        # Receiver NIC pipeline: DMA into the posted buffer (host memory
+        # for off-path Palladium — the RNIC writes straight into the
+        # tenant's unified pool via the cross-processor registration).
+        yield from remote._rx_pipe.use(remote._pipe_time(wr.length))
+        rbr_buffer = srq.rbr.consume(recv_wr_id)
+        assert rbr_buffer is recv_buffer, "RBR table out of sync with shared RQ"
+        agent = f"rnic:{remote.node}"
+        if wr.length > recv_buffer.capacity:
+            # Message too large for the posted buffer: local length error.
+            recv_buffer.owner = agent
+            recv_buffer.state = BufferState.IN_USE
+            remote.cq.put_nowait(Completion(
+                opcode=Opcode.RECV, wr_id=recv_wr_id, ok=False,
+                buffer=recv_buffer, tenant=qp.tenant, is_recv=True,
+            ))
+        else:
+            recv_buffer.write(agent, wr.buffer.payload if wr.buffer else None, wr.length)
+            recv_buffer.state = BufferState.IN_USE
+            srq.consumed_since_replenish += 1
+            remote.cq.put_nowait(Completion(
+                opcode=Opcode.RECV, wr_id=recv_wr_id, ok=True,
+                buffer=recv_buffer, length=wr.length, meta=dict(wr.meta),
+                tenant=qp.tenant, is_recv=True,
+            ))
+        # The local completion carries the source buffer so the polling
+        # engine can recycle it to the tenant pool.
+        return Completion(opcode=Opcode.SEND, wr_id=wr.wr_id, ok=True,
+                          buffer=wr.buffer, length=wr.length,
+                          meta=dict(wr.meta), tenant=qp.tenant)
+
+    def _complete_write(self, qp: QueuePair, wr: WorkRequest, remote: "Rnic"):
+        target = wr.remote_buffer
+        if target is None:
+            raise ValueError("one-sided WRITE requires a remote buffer")
+        remote.mrt.lookup_buffer(target)
+        yield from remote._rx_pipe.use(remote._pipe_time(wr.length))
+        # Receiver-oblivious: the write lands regardless of who is using
+        # the buffer.  Record the race window the paper describes (§2.1).
+        if target.state == BufferState.IN_USE and target.owner is not None:
+            expected = wr.meta.get("expected_owner")
+            if expected is None or target.owner != expected:
+                remote.potential_races += 1
+        target.payload = wr.buffer.payload if wr.buffer else wr.meta.get("payload")
+        target.length = wr.length
+        return Completion(opcode=Opcode.WRITE, wr_id=wr.wr_id, ok=True,
+                          buffer=wr.buffer, length=wr.length,
+                          meta=dict(wr.meta), tenant=qp.tenant)
+
+    def _complete_read(self, qp: QueuePair, wr: WorkRequest, remote: "Rnic"):
+        source = wr.remote_buffer
+        if source is None:
+            raise ValueError("one-sided READ requires a remote buffer")
+        remote.mrt.lookup_buffer(source)
+        length = wr.length or source.length
+        # Remote NIC reads host memory and streams the response back.
+        yield from remote._rx_pipe.use(remote._pipe_time(length))
+        back = self.fabric.link(qp.remote_node, self.node)
+        yield from back.transmit(RDMA_HEADER_BYTES + length)
+        yield from self._rx_pipe.use(self._pipe_time(length))
+        return Completion(opcode=Opcode.READ, wr_id=wr.wr_id, ok=True,
+                          length=length,
+                          meta={**wr.meta, "payload": source.payload},
+                          tenant=qp.tenant)
+
+    def _complete_cas(self, qp: QueuePair, wr: WorkRequest, remote: "Rnic"):
+        word: AtomicWord = wr.meta["word"]
+        if word.node != qp.remote_node:
+            raise ValueError(
+                f"CAS target word lives on {word.node}, QP goes to {qp.remote_node}"
+            )
+        # Atomic execution in the remote NIC (serialized by its pipeline).
+        yield from remote._rx_pipe.use(remote._pipe_time(16))
+        old = word.value
+        if old == wr.compare:
+            word.value = wr.swap
+        back = self.fabric.link(qp.remote_node, self.node)
+        yield from back.transmit(RDMA_HEADER_BYTES + 8)
+        return Completion(opcode=Opcode.CAS, wr_id=wr.wr_id, ok=True,
+                          old_value=old, meta={}, tenant=qp.tenant)

@@ -1,0 +1,85 @@
+"""RDMA verbs vocabulary: opcodes, work requests, completions.
+
+Mirrors the IB-verbs objects the paper manipulates (§2.1, §3.5.2):
+work requests (WRs) are posted to a queue pair's send queue; receive
+buffers are posted to a (per-tenant, shared) receive queue; completion
+queue entries (CQEs) surface finished work to the polling engine.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..memory import Buffer
+
+__all__ = ["Opcode", "WorkRequest", "Completion", "RDMA_HEADER_BYTES"]
+
+#: Transport header bytes added to every RDMA message on the wire
+#: (BTH + RETH-ish overhead; only affects serialization time).
+RDMA_HEADER_BYTES = 38
+
+_wr_ids = itertools.count(1)
+
+
+class Opcode:
+    """RDMA operation codes used in the reproduction."""
+
+    SEND = "send"  # two-sided: consumes a posted receive buffer
+    RECV = "recv"  # receive-buffer post
+    WRITE = "write"  # one-sided write: receiver CPU/NIC not notified
+    READ = "read"  # one-sided read
+    CAS = "cas"  # atomic compare-and-swap (lock building block)
+
+    TWO_SIDED = frozenset({SEND})
+    ONE_SIDED = frozenset({WRITE, READ, CAS})
+
+
+@dataclass
+class WorkRequest:
+    """One unit of work posted to a queue pair.
+
+    ``meta`` carries the application header (tenant, destination
+    function, request id) which the real system encodes in the payload
+    header / immediate data.
+    """
+
+    opcode: str
+    buffer: Optional[Buffer] = None
+    length: int = 0
+    meta: Dict[str, Any] = field(default_factory=dict)
+    #: one-sided targets
+    remote_buffer: Optional[Buffer] = None
+    #: CAS operands
+    compare: int = 0
+    swap: int = 0
+    signaled: bool = True
+    wr_id: int = field(default_factory=lambda: next(_wr_ids))
+
+    def wire_bytes(self) -> int:
+        """Bytes this WR puts on the fabric (payload + header)."""
+        if self.opcode == Opcode.CAS:
+            return RDMA_HEADER_BYTES + 16
+        if self.opcode == Opcode.READ:
+            return RDMA_HEADER_BYTES  # request; response carries data
+        return RDMA_HEADER_BYTES + self.length
+
+
+@dataclass
+class Completion:
+    """A completion queue entry (CQE)."""
+
+    opcode: str
+    wr_id: int
+    ok: bool = True
+    #: For receive completions: the buffer the RNIC delivered into.
+    buffer: Optional[Buffer] = None
+    length: int = 0
+    meta: Dict[str, Any] = field(default_factory=dict)
+    #: Tenant whose (shared) receive queue satisfied this arrival.
+    tenant: Optional[str] = None
+    #: For CAS: the original value read from the remote word.
+    old_value: int = 0
+    #: is this the receiver-side completion of a two-sided SEND?
+    is_recv: bool = False

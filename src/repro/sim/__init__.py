@@ -1,0 +1,38 @@
+"""Discrete-event simulation substrate for the Palladium reproduction."""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .monitor import LatencyStats, RateMeter, TimeSeries, UtilizationTracker
+from .resources import FilterStore, Request, Resource, Store
+from .rng import RngRegistry
+from .trace import TraceRecord, Tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "FilterStore",
+    "Interrupt",
+    "LatencyStats",
+    "Process",
+    "RateMeter",
+    "Request",
+    "Resource",
+    "RngRegistry",
+    "SimulationError",
+    "Store",
+    "TimeSeries",
+    "Timeout",
+    "TraceRecord",
+    "Tracer",
+    "UtilizationTracker",
+]

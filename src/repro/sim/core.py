@@ -1,0 +1,477 @@
+"""Discrete-event simulation kernel.
+
+This module is the substrate for the entire Palladium reproduction: a
+compact, deterministic, generator-based discrete-event engine in the
+style of SimPy.  Simulated time is a ``float`` whose unit is
+*microseconds* throughout the repository (the natural scale for RDMA
+and DPU data-plane events; see :mod:`repro.config`).
+
+The programming model:
+
+* An :class:`Environment` owns the simulation clock and the event heap.
+* A *process* is a Python generator that ``yield``\\ s :class:`Event`
+  objects; the process is resumed when the yielded event fires.
+* :meth:`Environment.timeout` creates an event that fires after a fixed
+  delay; :meth:`Environment.event` creates a manually-triggered event.
+* Processes are themselves events (they fire when the generator
+  returns), so processes can wait on each other.
+* A process can be interrupted with :meth:`Process.interrupt`, which
+  raises :class:`Interrupt` inside the generator.
+
+Determinism: events scheduled for the same instant fire in FIFO order
+of scheduling (ties are broken by a monotonically increasing sequence
+number), so repeated runs with the same seed produce identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "SimulationError",
+    "AnyOf",
+    "AllOf",
+]
+
+#: Normal event priority.  Lower values fire earlier at the same time.
+PRIORITY_NORMAL = 1
+#: Urgent priority, used internally so a process resumption scheduled by
+#: an event trigger happens before same-time normal events.
+PRIORITY_URGENT = 0
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel (e.g. double trigger)."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process generator when it is interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait for.
+
+    An event can *succeed* (carrying a value) or *fail* (carrying an
+    exception).  Callbacks registered on the event run when it fires.
+    Waiting on a failed event re-raises its exception inside the
+    waiting process unless the event is ``defused``.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed", "defused")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+        #: if True, an un-waited-for failure does not abort the run
+        self.defused = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value the event fired with."""
+        if not self._triggered:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self._triggered = True
+        self.env._schedule(self, PRIORITY_NORMAL, 0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self._triggered = True
+        self.env._schedule(self, PRIORITY_NORMAL, 0.0)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Mirror the outcome of another (already fired) event."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    # -- internal ------------------------------------------------------------
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(self)
+        if not self._ok and not self.defused:
+            raise self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self._triggered else "pending"
+        return f"<{type(self).__name__} {state} at t={self.env.now}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._triggered = True
+        env._schedule(self, PRIORITY_NORMAL, delay)
+
+
+class Initialize(Event):
+    """Internal: kicks off a newly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self.callbacks = [process._resume]
+        self._ok = True
+        self._triggered = True
+        env._schedule(self, PRIORITY_URGENT, 0.0)
+
+
+class Process(Event):
+    """A running process; fires (as an event) when its generator returns.
+
+    The value of the process-event is the generator's return value.  If
+    the generator raises, the process-event fails with that exception.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"process() requires a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: event this process is currently waiting on
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not terminated."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Raise :class:`Interrupt` inside the process at the current time."""
+        if self._triggered:
+            raise SimulationError(f"cannot interrupt terminated process {self.name}")
+        if self._target is None:
+            raise SimulationError(f"cannot interrupt uninitialized process {self.name}")
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._triggered = True
+        event.defused = True
+        # Detach from the current target so its eventual firing is ignored,
+        # and resume immediately with the interrupt.
+        target = self._target
+        if target.callbacks is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        self._target = None
+        event.callbacks = [self._resume]
+        self.env._schedule(event, PRIORITY_URGENT, 0.0)
+
+    # -- internal ------------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    # The exception is being delivered; mark it handled.
+                    event.defused = True
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as exc:
+                self._target = None
+                self.env._active_process = None
+                self._ok = True
+                self._value = exc.value
+                self._triggered = True
+                self.env._schedule(self, PRIORITY_NORMAL, 0.0)
+                return
+            except BaseException as exc:
+                self._target = None
+                self.env._active_process = None
+                self._ok = False
+                self._value = exc
+                self._triggered = True
+                self.env._schedule(self, PRIORITY_NORMAL, 0.0)
+                return
+
+            if not isinstance(next_event, Event):
+                exc = SimulationError(
+                    f"process {self.name!r} yielded a non-event: {next_event!r}"
+                )
+                event = Event(self.env)
+                event._ok = False
+                event._value = exc
+                event._triggered = True
+                continue
+
+            if next_event.env is not self.env:
+                raise SimulationError("cannot wait on an event from another environment")
+
+            if next_event.callbacks is not None:
+                # Not yet processed: register and suspend.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+            # Already processed: loop and deliver its outcome synchronously.
+            event = next_event
+
+        self.env._active_process = None
+
+
+class ConditionValue:
+    """Ordered mapping of events to values produced by condition events."""
+
+    def __init__(self, events: List[Event]):
+        self.events = events
+
+    def __getitem__(self, event: Event) -> Any:
+        if event not in self.events:
+            raise KeyError(event)
+        return event._value
+
+    def __contains__(self, event: Event) -> bool:
+        return event in self.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def values(self) -> List[Any]:
+        return [event._value for event in self.events]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ConditionValue {self.values()!r}>"
+
+
+class Condition(Event):
+    """Base for :class:`AnyOf` / :class:`AllOf` composite events."""
+
+    __slots__ = ("_events", "_count")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        self._count = 0
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("all events must share one environment")
+        if not self._events:
+            self.succeed(ConditionValue([]))
+            return
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _satisfied(self) -> bool:
+        raise NotImplementedError
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        self._count += 1
+        if not event._ok:
+            event.defused = True
+            self.fail(event._value)
+        elif self._satisfied():
+            self.succeed(ConditionValue(
+                [e for e in self._events if e._processed and e._ok]
+            ))
+
+
+class AnyOf(Condition):
+    """Fires as soon as any of the given events fires."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._count >= 1
+
+
+class AllOf(Condition):
+    """Fires when all of the given events have fired."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._count == len(self._events)
+
+
+class Environment:
+    """The simulation environment: clock, event heap, and run loop."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List[Any] = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (microseconds by repo convention)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- event factories ---------------------------------------------------
+    def event(self) -> Event:
+        """Create a new, untriggered event."""
+        return Event(self)
+
+    def completed_event(self, value: Any = None, cls: type = Event) -> Event:
+        """An already-processed successful event (fast path).
+
+        Yielding it resumes the process synchronously without a trip
+        through the event heap; never yielding it costs nothing.  Used
+        by resources/stores for immediately-satisfiable operations.
+        """
+        event = cls(self)
+        event._ok = True
+        event._value = value
+        event._triggered = True
+        event._processed = True
+        event.callbacks = None
+        return event
+
+    def defer(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` after ``delay`` without spawning a process.
+
+        A lightweight alternative to ``process()`` for fire-and-forget
+        delayed actions (message deliveries, notifications).
+        """
+        event = Event(self)
+        event._ok = True
+        event._triggered = True
+        event.callbacks = [lambda _event: fn()]
+        self._schedule(event, PRIORITY_NORMAL, delay)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay`` time units."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event firing when any of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event firing when all ``events`` have fired."""
+        return AllOf(self, events)
+
+    # -- scheduling / run loop ----------------------------------------------
+    def _schedule(self, event: Event, priority: int, delay: float) -> None:
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._queue:
+            raise SimulationError("no more events")
+        when, _priority, _eid, event = heapq.heappop(self._queue)
+        self._now = when
+        event._run_callbacks()
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run to exhaustion), a number (run up
+        to that simulated time), or an :class:`Event` (run until it
+        fires, returning its value).
+        """
+        stop_event: Optional[Event] = None
+        stop_time = float("inf")
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            stop_event = until
+            if stop_event.processed:
+                if stop_event.ok:
+                    return stop_event.value
+                raise stop_event.value
+        else:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise ValueError(f"until ({stop_time}) is in the past (now={self._now})")
+
+        while self._queue:
+            if self._queue[0][0] > stop_time:
+                break
+            self.step()
+            if stop_event is not None and stop_event.processed:
+                if stop_event.ok:
+                    return stop_event.value
+                stop_event.defused = True
+                raise stop_event.value
+        if stop_event is not None and not stop_event.processed:
+            raise SimulationError("run() ran out of events before `until` event fired")
+        if stop_time != float("inf"):
+            self._now = stop_time
+        return None

@@ -1,0 +1,194 @@
+"""Measurement helpers: time series, counters, latency statistics.
+
+Every experiment in the reproduction reports either a rate (requests
+per second), a latency distribution, or a utilization time series.
+These helpers centralize that bookkeeping so experiment code stays
+declarative.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["TimeSeries", "LatencyStats", "RateMeter", "UtilizationTracker", "summarize"]
+
+
+class TimeSeries:
+    """An append-only sequence of ``(time, value)`` samples."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        """Append one sample; times must be non-decreasing."""
+        if self.times and time < self.times[-1]:
+            raise ValueError("time series samples must be chronological")
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self):
+        return iter(zip(self.times, self.values))
+
+    def mean(self) -> float:
+        """Arithmetic mean of the sample values."""
+        return sum(self.values) / len(self.values) if self.values else 0.0
+
+    def last(self) -> Optional[Tuple[float, float]]:
+        """Most recent ``(time, value)`` sample, if any."""
+        if not self.times:
+            return None
+        return self.times[-1], self.values[-1]
+
+    def window_mean(self, start: float, end: float) -> float:
+        """Mean of samples whose timestamp lies in ``[start, end)``."""
+        vals = [v for t, v in zip(self.times, self.values) if start <= t < end]
+        return sum(vals) / len(vals) if vals else 0.0
+
+
+class LatencyStats:
+    """Collects latency samples and reports summary statistics."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.samples: List[float] = []
+
+    def record(self, latency: float) -> None:
+        """Add one latency sample (same unit as the simulation clock)."""
+        if latency < 0:
+            raise ValueError(f"negative latency: {latency}")
+        self.samples.append(latency)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def mean(self) -> float:
+        """Mean latency, 0 if no samples."""
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile ``p`` in [0, 100]."""
+        if not self.samples:
+            return 0.0
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile out of range: {p}")
+        ordered = sorted(self.samples)
+        rank = max(0, min(len(ordered) - 1, math.ceil(p / 100.0 * len(ordered)) - 1))
+        return ordered[rank]
+
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def max(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+
+class RateMeter:
+    """Counts discrete completions and converts them to rates.
+
+    ``bucket`` groups completions into fixed windows so experiments can
+    plot throughput over time (e.g. Fig. 14/15 time series).
+    """
+
+    def __init__(self, name: str = "", bucket: float = 1_000_000.0):
+        self.name = name
+        self.bucket = bucket
+        #: fine-grained internal resolution so `rate()` stays accurate
+        #: for windows smaller than the reporting bucket
+        self.resolution = min(bucket, 10_000.0)
+        self.count = 0
+        self.first_time: Optional[float] = None
+        self.last_time: Optional[float] = None
+        self._fine: Dict[int, int] = {}
+
+    def record(self, time: float, n: int = 1) -> None:
+        """Register ``n`` completions at simulated ``time``."""
+        if self.first_time is None:
+            self.first_time = time
+        self.last_time = time
+        self.count += n
+        idx = int(time // self.resolution)
+        self._fine[idx] = self._fine.get(idx, 0) + n
+
+    def rate(self, start: float, end: float) -> float:
+        """Completions per time unit over ``[start, end)`` wall window."""
+        if end <= start:
+            return 0.0
+        n = sum(
+            c for idx, c in self._fine.items()
+            if start <= idx * self.resolution < end
+        )
+        return n / (end - start)
+
+    def series(self) -> TimeSeries:
+        """Per-bucket throughput as a time series (rate per time unit)."""
+        coarse: Dict[int, int] = {}
+        for idx, c in self._fine.items():
+            cidx = int(idx * self.resolution // self.bucket)
+            coarse[cidx] = coarse.get(cidx, 0) + c
+        ts = TimeSeries(self.name)
+        for cidx in sorted(coarse):
+            ts.record(cidx * self.bucket, coarse[cidx] / self.bucket)
+        return ts
+
+
+class UtilizationTracker:
+    """Tracks busy/idle intervals of a logical worker.
+
+    Distinguishes *occupied* time (core held, e.g. a busy-poll loop)
+    from *useful* time (cycles spent on actual data-plane work) — the
+    distinction Palladium's ingress autoscaler measures (§3.6).
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.busy_since: Optional[float] = None
+        self.occupied = 0.0
+        self.useful = 0.0
+
+    def begin_busy(self, time: float) -> None:
+        """Mark the worker as occupying its core starting at ``time``."""
+        if self.busy_since is None:
+            self.busy_since = time
+
+    def end_busy(self, time: float) -> None:
+        """Mark the worker as releasing its core at ``time``."""
+        if self.busy_since is not None:
+            self.occupied += time - self.busy_since
+            self.busy_since = None
+
+    def add_useful(self, duration: float) -> None:
+        """Account ``duration`` of genuinely useful work."""
+        self.useful += duration
+
+    def occupied_time(self, now: float) -> float:
+        """Total core-occupied time up to ``now``."""
+        extra = (now - self.busy_since) if self.busy_since is not None else 0.0
+        return self.occupied + extra
+
+    def useful_fraction(self, now: float, since: float = 0.0) -> float:
+        """Useful work as a fraction of elapsed wall time since ``since``."""
+        elapsed = now - since
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.useful / elapsed)
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Small helper returning mean/min/max of a sequence."""
+    if not values:
+        return {"mean": 0.0, "min": 0.0, "max": 0.0}
+    return {
+        "mean": sum(values) / len(values),
+        "min": min(values),
+        "max": max(values),
+    }

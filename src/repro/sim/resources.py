@@ -1,0 +1,259 @@
+"""Shared-resource primitives for the simulation kernel.
+
+Provides SimPy-style resources used throughout the reproduction:
+
+* :class:`Resource` — a server with fixed capacity and a FIFO (or
+  priority) wait queue.  CPU cores, DMA engines and NIC processing
+  pipelines are built on this.
+* :class:`Store` — an unbounded/bounded FIFO of items with blocking
+  ``get``.  Message queues, completion queues and rings are built on
+  this.
+* :class:`FilterStore` — a store whose ``get`` can wait for an item
+  matching a predicate (used e.g. to wait for a specific completion).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from .core import Environment, Event, SimulationError
+
+__all__ = ["Resource", "Request", "Store", "FilterStore"]
+
+
+class _PutEvent(Event):
+    """Internal: a pending Store.put carrying its item."""
+
+    __slots__ = ("item",)
+
+
+class _GetEvent(Event):
+    """Internal: a pending Store.get, optionally with a predicate."""
+
+    __slots__ = ("predicate",)
+
+
+class Request(Event):
+    """A pending or granted claim on a :class:`Resource` slot."""
+
+    __slots__ = ("resource", "priority", "key")
+
+    def __init__(self, resource: "Resource", priority: int):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        resource._seq += 1
+        self.key = (priority, resource._seq)
+
+
+class Resource:
+    """A server with ``capacity`` identical slots and a wait queue.
+
+    Requests are granted in ``(priority, FIFO)`` order; lower priority
+    values are served first.  The holder must call :meth:`release` with
+    the granted request.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self.users: List[Request] = []
+        self.queue: List[Request] = []
+        self._seq = 0
+        # busy-time accounting for utilization reports
+        self._busy_area = 0.0
+        self._last_change = env.now
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self.users)
+
+    def _account(self) -> None:
+        now = self.env.now
+        self._busy_area += len(self.users) * (now - self._last_change)
+        self._last_change = now
+
+    def busy_time(self) -> float:
+        """Aggregate slot-busy time (slot-microseconds) so far."""
+        self._account()
+        return self._busy_area
+
+    def utilization(self, since: float = 0.0) -> float:
+        """Mean fraction of capacity in use since time ``since``."""
+        elapsed = self.env.now - since
+        if elapsed <= 0:
+            return 0.0
+        return self.busy_time() / (elapsed * self.capacity)
+
+    def request(self, priority: int = 0) -> Request:
+        """Claim a slot; the returned event fires when granted."""
+        req = Request(self, priority)
+        self._account()
+        if len(self.users) < self.capacity and not self.queue:
+            self.users.append(req)
+            # Fast path: granted immediately, no trip through the heap.
+            req._ok = True
+            req._triggered = True
+            req._processed = True
+            req.callbacks = None
+        else:
+            self.queue.append(req)
+            self.queue.sort(key=lambda r: r.key)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a previously granted slot."""
+        self._account()
+        try:
+            self.users.remove(request)
+        except ValueError:
+            raise SimulationError(f"release of non-held request on {self.name!r}")
+        while self.queue and len(self.users) < self.capacity:
+            nxt = self.queue.pop(0)
+            self.users.append(nxt)
+            nxt.succeed()
+
+    def cancel(self, request: Request) -> None:
+        """Withdraw a queued (not yet granted) request."""
+        if request in self.queue:
+            self.queue.remove(request)
+        elif request in self.users:
+            self.release(request)
+
+    def use(self, duration: float, priority: int = 0):
+        """Generator helper: hold one slot for ``duration`` time units."""
+        req = self.request(priority)
+        yield req
+        try:
+            yield self.env.timeout(duration)
+        finally:
+            self.release(req)
+
+
+class Store:
+    """FIFO item store with blocking ``get`` and optional capacity."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf"), name: str = ""):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self.items: List[Any] = []
+        self._getters: List[Event] = []
+        self._putters: List[Event] = []  # (event carries the item as .item)
+        self.put_count = 0
+        self.get_count = 0
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        """Insert ``item``; fires immediately unless the store is full."""
+        event = _PutEvent(self.env)
+        event.item = item
+        if len(self.items) < self.capacity:
+            self._commit_put(event)
+        else:
+            self._putters.append(event)
+        return event
+
+    def _commit_put(self, event: "_PutEvent") -> None:
+        self.items.append(event.item)
+        self.put_count += 1
+        if event.callbacks is not None and not event._triggered:
+            if event.callbacks:
+                event.succeed()
+            else:
+                # Fast path: nobody is watching this put event.
+                event._ok = True
+                event._triggered = True
+                event._processed = True
+                event.callbacks = None
+        self._dispatch()
+
+    def put_nowait(self, item: Any) -> None:
+        """Insert without creating an event (hot path for unbounded stores)."""
+        if len(self.items) >= self.capacity:
+            raise SimulationError(f"put_nowait on full store {self.name!r}")
+        self.items.append(item)
+        self.put_count += 1
+        self._dispatch()
+
+    def get(self) -> Event:
+        """Remove and return the oldest item; blocks while empty."""
+        if self.items and not self._getters:
+            # Fast path: satisfy synchronously without the heap.
+            item = self.items.pop(0)
+            self.get_count += 1
+            event = self.env.completed_event(item, _GetEvent)
+            event.predicate = None
+            while self._putters and len(self.items) < self.capacity:
+                self._commit_put(self._putters.pop(0))
+            return event
+        event = _GetEvent(self.env)
+        event.predicate = None
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def _dispatch(self) -> None:
+        while self._getters and self.items:
+            getter = self._getters.pop(0)
+            item = self.items.pop(0)
+            self.get_count += 1
+            getter.succeed(item)
+            while self._putters and len(self.items) < self.capacity:
+                self._commit_put(self._putters.pop(0))
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking get: pop the oldest item or return ``None``."""
+        if self.items and not self._getters:
+            self.get_count += 1
+            return self.items.pop(0)
+        return None
+
+
+class FilterStore(Store):
+    """A :class:`Store` whose ``get`` may wait for a matching item."""
+
+    def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> Event:
+        predicate = predicate or (lambda item: True)
+        if self.items and not self._getters:
+            match = next((i for i, item in enumerate(self.items) if predicate(item)), None)
+            if match is not None:
+                item = self.items.pop(match)
+                self.get_count += 1
+                event = self.env.completed_event(item, _GetEvent)
+                event.predicate = predicate
+                while self._putters and len(self.items) < self.capacity:
+                    self._commit_put(self._putters.pop(0))
+                return event
+        event = _GetEvent(self.env)
+        event.predicate = predicate
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            for getter in list(self._getters):
+                match = next(
+                    (i for i, item in enumerate(self.items)
+                     if getter.predicate(item)),
+                    None,
+                )
+                if match is not None:
+                    self._getters.remove(getter)
+                    item = self.items.pop(match)
+                    self.get_count += 1
+                    getter.succeed(item)
+                    progressed = True
+            while self._putters and len(self.items) < self.capacity:
+                self._commit_put(self._putters.pop(0))

@@ -1,0 +1,41 @@
+"""Workloads: load generators, echo pairs, Online Boutique, tenant traces."""
+
+from .boutique import (
+    BOUTIQUE_CHAINS,
+    BOUTIQUE_FUNCTIONS,
+    BOUTIQUE_PLACEMENT,
+    BOUTIQUE_TENANT,
+    CHAIN_PATHS,
+    boutique_resolver,
+    boutique_specs,
+    deploy_boutique,
+    path_payload,
+)
+from .diurnal import RateSchedule, ScheduledSource, diurnal_schedule
+from .echo import ECHO_TENANT, deploy_echo_pair, deploy_http_echo
+from .generator import ClientFleet, ClosedLoopClient, DirectDriver, OpenLoopSource
+from .traces import TenantTrace, fig15_traces
+
+__all__ = [
+    "BOUTIQUE_CHAINS",
+    "BOUTIQUE_FUNCTIONS",
+    "BOUTIQUE_PLACEMENT",
+    "BOUTIQUE_TENANT",
+    "CHAIN_PATHS",
+    "ClientFleet",
+    "ClosedLoopClient",
+    "DirectDriver",
+    "ECHO_TENANT",
+    "TenantTrace",
+    "boutique_resolver",
+    "boutique_specs",
+    "deploy_boutique",
+    "deploy_echo_pair",
+    "deploy_http_echo",
+    "OpenLoopSource",
+    "RateSchedule",
+    "ScheduledSource",
+    "diurnal_schedule",
+    "fig15_traces",
+    "path_payload",
+]

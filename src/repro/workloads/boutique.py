@@ -1,0 +1,230 @@
+"""The Online Boutique microservices application (§4.3).
+
+Ten functions and six user-facing chains, modeled on Google's
+microservices demo the paper evaluates with.  Message sizes and
+application-logic costs are representative of the demo's gRPC traffic;
+the *call structure* (who invokes whom, how many data exchanges per
+chain) matches the demo's call graph — each of the three evaluated
+chains incurs more than 11 data exchanges, as the paper states.
+
+Placement follows the paper: the potential hotspots (Frontend,
+Checkout, Recommendation) on one node, the remaining seven on the
+second node.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..platform import ChainSpec, FunctionSpec
+
+__all__ = [
+    "BOUTIQUE_TENANT",
+    "BOUTIQUE_FUNCTIONS",
+    "BOUTIQUE_PLACEMENT",
+    "BOUTIQUE_CHAINS",
+    "boutique_specs",
+    "boutique_resolver",
+    "deploy_boutique",
+    "scattered_placement",
+]
+
+BOUTIQUE_TENANT = "boutique"
+
+#: gRPC-ish message sizes (bytes)
+_SZ = {
+    "small": 128,
+    "medium": 512,
+    "list": 2048,
+    "page": 4096,
+}
+
+
+# ---------------------------------------------------------------------------
+# Handlers: the call graph of the demo app.
+# ---------------------------------------------------------------------------
+
+def _frontend(ctx, msg):
+    """Route by operation; each branch is one user-facing chain."""
+    op = (msg.payload or {}).get("op", "home") if isinstance(msg.payload, dict) else "home"
+    yield from ctx.compute(70)
+    if op == "home":
+        yield from ctx.invoke("currency", {"rpc": "GetSupportedCurrencies"}, _SZ["small"])
+        products = yield from ctx.invoke("productcatalog", {"rpc": "ListProducts"}, _SZ["small"])
+        yield from ctx.invoke("cart", {"rpc": "GetCart"}, _SZ["small"])
+        yield from ctx.invoke("recommendation", {"rpc": "ListRecommendations"}, _SZ["medium"])
+        yield from ctx.invoke("ad", {"rpc": "GetAds"}, _SZ["small"])
+        yield from ctx.invoke("currency", {"rpc": "Convert", "n": 9}, _SZ["medium"])
+        yield from ctx.compute(80)
+        yield from ctx.respond({"page": "home", "products": products.size}, _SZ["page"])
+    elif op == "product":
+        yield from ctx.invoke("productcatalog", {"rpc": "GetProduct"}, _SZ["small"])
+        yield from ctx.invoke("currency", {"rpc": "Convert"}, _SZ["small"])
+        yield from ctx.invoke("cart", {"rpc": "GetCart"}, _SZ["small"])
+        yield from ctx.invoke("recommendation", {"rpc": "ListRecommendations"}, _SZ["medium"])
+        yield from ctx.invoke("ad", {"rpc": "GetAds"}, _SZ["small"])
+        yield from ctx.compute(40)
+        yield from ctx.respond({"page": "product"}, _SZ["page"])
+    elif op == "viewcart":
+        yield from ctx.invoke("cart", {"rpc": "GetCart"}, _SZ["small"])
+        yield from ctx.invoke("recommendation", {"rpc": "ListRecommendations"}, _SZ["medium"])
+        yield from ctx.invoke("productcatalog", {"rpc": "GetProduct", "i": 0}, _SZ["small"])
+        yield from ctx.invoke("productcatalog", {"rpc": "GetProduct", "i": 1}, _SZ["small"])
+        yield from ctx.invoke("shipping", {"rpc": "GetQuote"}, _SZ["small"])
+        yield from ctx.invoke("currency", {"rpc": "Convert", "n": 3}, _SZ["medium"])
+        yield from ctx.compute(40)
+        yield from ctx.respond({"page": "cart"}, _SZ["page"])
+    elif op == "addcart":
+        yield from ctx.invoke("productcatalog", {"rpc": "GetProduct"}, _SZ["small"])
+        yield from ctx.invoke("cart", {"rpc": "AddItem"}, _SZ["small"])
+        yield from ctx.respond({"page": "added"}, _SZ["medium"])
+    elif op == "checkout":
+        yield from ctx.invoke("checkout", {"rpc": "PlaceOrder"}, _SZ["medium"])
+        yield from ctx.respond({"page": "order"}, _SZ["page"])
+    elif op == "currency":
+        yield from ctx.invoke("currency", {"rpc": "GetSupportedCurrencies"}, _SZ["small"])
+        yield from ctx.respond({"page": "currencies"}, _SZ["medium"])
+    else:
+        yield from ctx.respond({"error": f"unknown op {op!r}"}, _SZ["small"])
+
+
+def _recommendation(ctx, msg):
+    """Recommendation consults the product catalog (nested invoke)."""
+    yield from ctx.compute(88)
+    yield from ctx.invoke("productcatalog", {"rpc": "ListProducts"}, _SZ["small"])
+    yield from ctx.respond({"recommended": 4}, _SZ["medium"])
+
+
+def _checkout(ctx, msg):
+    """The order pipeline: the deepest chain in the demo."""
+    yield from ctx.compute(100)
+    yield from ctx.invoke("cart", {"rpc": "GetCart"}, _SZ["small"])
+    yield from ctx.invoke("productcatalog", {"rpc": "GetProduct"}, _SZ["small"])
+    yield from ctx.invoke("currency", {"rpc": "Convert"}, _SZ["small"])
+    yield from ctx.invoke("shipping", {"rpc": "ShipOrder"}, _SZ["small"])
+    yield from ctx.invoke("payment", {"rpc": "Charge"}, _SZ["small"])
+    yield from ctx.invoke("email", {"rpc": "SendOrderConfirmation"}, _SZ["medium"])
+    yield from ctx.invoke("cart", {"rpc": "EmptyCart"}, _SZ["small"])
+    yield from ctx.respond({"order": "ok"}, _SZ["medium"])
+
+
+def _leaf(work_us: float, response_bytes: int):
+    """Factory for leaf services: compute, respond."""
+    def handler(ctx, msg):
+        yield from ctx.compute(work_us)
+        yield from ctx.respond({"ok": True, "rpc": (msg.payload or {}).get("rpc")},
+                               response_bytes)
+    return handler
+
+
+#: function name -> (handler, work_us, node placement key)
+BOUTIQUE_FUNCTIONS: Dict[str, Tuple] = {
+    "frontend": (_frontend, 18),
+    "checkout": (_checkout, 25),
+    "recommendation": (_recommendation, 22),
+    "productcatalog": (_leaf(60, _SZ["list"]), 60),
+    "currency": (_leaf(40, _SZ["small"]), 40),
+    "cart": (_leaf(55, _SZ["small"]), 55),
+    "shipping": (_leaf(48, _SZ["small"]), 48),
+    "payment": (_leaf(64, _SZ["small"]), 64),
+    "email": (_leaf(70, _SZ["small"]), 70),
+    "ad": (_leaf(30, _SZ["medium"]), 30),
+}
+
+#: the paper's placement: hotspots on one node, the rest on the other
+BOUTIQUE_PLACEMENT: Dict[str, str] = {
+    "frontend": "worker0",
+    "checkout": "worker0",
+    "recommendation": "worker0",
+    "productcatalog": "worker1",
+    "currency": "worker1",
+    "cart": "worker1",
+    "shipping": "worker1",
+    "payment": "worker1",
+    "email": "worker1",
+    "ad": "worker1",
+}
+
+BOUTIQUE_CHAINS: List[ChainSpec] = [
+    ChainSpec("Home Query", BOUTIQUE_TENANT, "frontend",
+              hops=[("frontend", "currency"), ("frontend", "productcatalog"),
+                    ("frontend", "cart"), ("frontend", "recommendation"),
+                    ("recommendation", "productcatalog"), ("frontend", "ad"),
+                    ("frontend", "currency")]),
+    ChainSpec("Product Query", BOUTIQUE_TENANT, "frontend",
+              hops=[("frontend", "productcatalog"), ("frontend", "currency"),
+                    ("frontend", "cart"), ("frontend", "recommendation"),
+                    ("recommendation", "productcatalog"), ("frontend", "ad")]),
+    ChainSpec("View Cart", BOUTIQUE_TENANT, "frontend",
+              hops=[("frontend", "cart"), ("frontend", "recommendation"),
+                    ("recommendation", "productcatalog"),
+                    ("frontend", "productcatalog"), ("frontend", "productcatalog"),
+                    ("frontend", "shipping"), ("frontend", "currency")]),
+    ChainSpec("Add to Cart", BOUTIQUE_TENANT, "frontend",
+              hops=[("frontend", "productcatalog"), ("frontend", "cart")]),
+    ChainSpec("Checkout", BOUTIQUE_TENANT, "frontend",
+              hops=[("frontend", "checkout"), ("checkout", "cart"),
+                    ("checkout", "productcatalog"), ("checkout", "currency"),
+                    ("checkout", "shipping"), ("checkout", "payment"),
+                    ("checkout", "email"), ("checkout", "cart")]),
+    ChainSpec("Set Currency", BOUTIQUE_TENANT, "frontend",
+              hops=[("frontend", "currency")]),
+]
+
+#: HTTP path -> frontend operation for the three evaluated chains
+CHAIN_PATHS = {
+    "Home Query": "/home",
+    "Product Query": "/product",
+    "View Cart": "/viewcart",
+    "Add to Cart": "/addcart",
+    "Checkout": "/checkout",
+    "Set Currency": "/currency",
+}
+
+
+def boutique_specs() -> List[FunctionSpec]:
+    """Function specs for all ten services."""
+    return [
+        FunctionSpec(name, BOUTIQUE_TENANT, handler, work_us=work)
+        for name, (handler, work) in BOUTIQUE_FUNCTIONS.items()
+    ]
+
+
+def boutique_resolver(path: str) -> Tuple[str, str]:
+    """Ingress resolver: every boutique path enters at the frontend."""
+    return BOUTIQUE_TENANT, "frontend"
+
+
+def path_payload(path: str) -> dict:
+    """Request body for a chain path (frontend routes on 'op')."""
+    return {"op": path.strip("/") or "home"}
+
+
+def deploy_boutique(platform, single_node: bool = False,
+                    placement: Dict[str, str] = None) -> None:
+    """Deploy all ten functions.
+
+    Default is the paper's placement; ``single_node`` forces everything
+    onto worker0 (the NightCore configuration); ``placement`` overrides
+    per function (used by the placement-sensitivity ablation).
+    """
+    chosen = placement or BOUTIQUE_PLACEMENT
+    for spec in boutique_specs():
+        node = "worker0" if single_node else chosen[spec.name]
+        platform.deploy(spec, node)
+
+
+def scattered_placement() -> Dict[str, str]:
+    """Worst-case placement: every frontend dependency remote."""
+    return {
+        "frontend": "worker0",
+        "checkout": "worker1",
+        "recommendation": "worker1",
+        "productcatalog": "worker1",
+        "currency": "worker1",
+        "cart": "worker1",
+        "shipping": "worker1",
+        "payment": "worker1",
+        "email": "worker1",
+        "ad": "worker1",
+    }

@@ -1,0 +1,99 @@
+"""Diurnal / bursty arrival-rate schedules.
+
+Serverless traffic is famously spiky — the "workload variation" of §1
+that motivates elastic provisioning.  :class:`RateSchedule` describes
+an arrival-rate curve as piecewise-linear control points (optionally
+with multiplicative noise) and :class:`ScheduledSource` drives an
+open-loop source along it.  Together with the ingress and function
+autoscalers this closes the loop on a realistic day-in-the-life run.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import List, Optional, Sequence, Tuple
+
+from ..sim import Environment, RateMeter
+
+from .generator import OpenLoopSource
+
+__all__ = ["RateSchedule", "ScheduledSource", "diurnal_schedule"]
+
+
+class RateSchedule:
+    """Piecewise-linear arrival rate over time.
+
+    ``points`` are ``(time_us, rate_rps)`` control points, sorted by
+    time; the rate is linearly interpolated between them and held flat
+    outside the range.
+    """
+
+    def __init__(self, points: Sequence[Tuple[float, float]]):
+        if not points:
+            raise ValueError("schedule needs at least one control point")
+        times = [t for t, _ in points]
+        if times != sorted(times):
+            raise ValueError("control points must be sorted by time")
+        if any(rate < 0 for _, rate in points):
+            raise ValueError("rates must be non-negative")
+        self.points = list(points)
+        self._times = times
+
+    def rate_at(self, time_us: float) -> float:
+        """Interpolated arrival rate (RPS) at ``time_us``."""
+        points = self.points
+        if time_us <= points[0][0]:
+            return points[0][1]
+        if time_us >= points[-1][0]:
+            return points[-1][1]
+        index = bisect_right(self._times, time_us)
+        t0, r0 = points[index - 1]
+        t1, r1 = points[index]
+        frac = (time_us - t0) / (t1 - t0)
+        return r0 + frac * (r1 - r0)
+
+    @property
+    def peak(self) -> float:
+        return max(rate for _, rate in self.points)
+
+    @property
+    def end_us(self) -> float:
+        return self.points[-1][0]
+
+
+def diurnal_schedule(day_us: float, base_rps: float, peak_rps: float,
+                     lunch_dip: float = 0.6) -> RateSchedule:
+    """A stylized work-day curve: ramp, morning peak, lunch dip,
+    afternoon peak, evening fall."""
+    if peak_rps < base_rps:
+        raise ValueError("peak must be >= base")
+    return RateSchedule([
+        (0.00 * day_us, base_rps),
+        (0.20 * day_us, peak_rps),            # morning peak
+        (0.45 * day_us, peak_rps * lunch_dip),  # lunch dip
+        (0.60 * day_us, peak_rps),            # afternoon peak
+        (0.85 * day_us, base_rps),
+        (1.00 * day_us, base_rps),
+    ])
+
+
+class ScheduledSource:
+    """Drives an :class:`OpenLoopSource`'s rate along a schedule."""
+
+    def __init__(self, env: Environment, source: OpenLoopSource,
+                 schedule: RateSchedule, update_period_us: float = 10_000.0):
+        self.env = env
+        self.source = source
+        self.schedule = schedule
+        self.update_period_us = update_period_us
+        self.rate_series = RateMeter("scheduled-rate")
+
+    def run(self):
+        """Generator: retune the source until the schedule ends."""
+        start = self.env.now
+        self.env.process(self.source.run(), name=f"{self.source.name}-loop")
+        while self.env.now - start < self.schedule.end_us:
+            rate = self.schedule.rate_at(self.env.now - start)
+            self.source.rate_rps = max(1e-6, rate)
+            yield self.env.timeout(self.update_period_us)
+        self.source.stop()

@@ -1,0 +1,70 @@
+"""Echo workloads used by the microbenchmarks (§4.1).
+
+A client/server function pair deployed across the two worker nodes so
+every request exercises the full inter-node data plane, plus a simple
+single-function HTTP echo used by the ingress experiments (§4.1.3).
+"""
+
+from __future__ import annotations
+
+from ..platform import FunctionSpec, ServerlessPlatform, Tenant
+
+__all__ = ["deploy_echo_pair", "deploy_http_echo", "ECHO_TENANT"]
+
+ECHO_TENANT = "echo"
+
+
+def _echo(ctx, msg):
+    """Zero-work echo: respond immediately with the request payload."""
+    yield from ctx.respond(msg.payload, msg.size)
+
+
+def deploy_echo_pair(
+    platform: ServerlessPlatform,
+    tenant: str = ECHO_TENANT,
+    weight: float = 1.0,
+    client_node: str = "worker0",
+    server_node: str = "worker1",
+    suffix: str = "",
+    buffer_bytes: int = 8192,
+):
+    """Deploy an echo client/server pair across two nodes.
+
+    Returns ``(client_instance, server_name)``; drive it with
+    :class:`~repro.workloads.generator.DirectDriver`.  Size
+    ``buffer_bytes`` to the largest payload the bench will send.
+    """
+    if tenant not in platform.tenants:
+        platform.add_tenant(Tenant(tenant, weight=weight,
+                                   buffer_bytes=buffer_bytes))
+    client_name = f"echo-client{suffix}"
+    server_name = f"echo-server{suffix}"
+    client = platform.deploy(
+        FunctionSpec(client_name, tenant, _echo, work_us=0.0), client_node
+    )
+    platform.deploy(
+        FunctionSpec(server_name, tenant, _echo, work_us=0.0), server_node
+    )
+    return client, server_name
+
+
+def deploy_http_echo(
+    platform: ServerlessPlatform,
+    tenant: str = ECHO_TENANT,
+    node: str = "worker0",
+    work_us: float = 5.0,
+):
+    """Deploy a single HTTP echo function (the §4.1.3 server).
+
+    Returns the resolver the ingress needs.
+    """
+    if tenant not in platform.tenants:
+        platform.add_tenant(Tenant(tenant))
+    platform.deploy(
+        FunctionSpec("http-echo", tenant, _echo, work_us=work_us), node
+    )
+
+    def resolver(path: str):
+        return tenant, "http-echo"
+
+    return resolver

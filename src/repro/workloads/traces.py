@@ -1,0 +1,70 @@
+"""Multi-tenant contention traces (Fig. 15).
+
+The paper's tenancy experiment runs three tenants with weights 6:1:2
+over a four-minute window:
+
+* Tenant-1 is active throughout;
+* Tenant-2 joins at 20 s and exits at 3 m 20 s, generating periodic
+  surges;
+* Tenant-3 runs between 1 m 30 s and 2 m 30 s and is slightly more
+  bursty.
+
+:class:`TenantTrace` encodes an activity window plus a surge pattern;
+:func:`fig15_traces` returns the paper's exact configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..config import SEC
+
+__all__ = ["TenantTrace", "fig15_traces"]
+
+
+@dataclass(frozen=True)
+class TenantTrace:
+    """Offered-load description for one tenant."""
+
+    tenant: str
+    weight: float
+    start_us: float
+    end_us: float
+    #: closed-loop driver connections while active (offered concurrency)
+    concurrency: int
+    #: surge period; 0 = steady offered load
+    surge_period_us: float = 0.0
+    #: fraction of the surge period at full concurrency (the rest idles
+    #: at `baseline_fraction` of the drivers)
+    surge_duty: float = 1.0
+    baseline_fraction: float = 0.3
+
+    def active(self, now_us: float) -> bool:
+        """Is the tenant inside its activity window?"""
+        return self.start_us <= now_us < self.end_us
+
+    def drivers_at(self, now_us: float) -> int:
+        """Concurrency the tenant offers at ``now_us``."""
+        if not self.active(now_us):
+            return 0
+        if self.surge_period_us <= 0:
+            return self.concurrency
+        phase = ((now_us - self.start_us) % self.surge_period_us) / self.surge_period_us
+        if phase < self.surge_duty:
+            return self.concurrency
+        return max(1, int(self.concurrency * self.baseline_fraction))
+
+
+def fig15_traces(concurrency: int = 48) -> List[TenantTrace]:
+    """The paper's three-tenant contention pattern (weights 6:1:2)."""
+    return [
+        TenantTrace("tenant-1", weight=6.0, start_us=0.0, end_us=240 * SEC,
+                    concurrency=concurrency),
+        TenantTrace("tenant-2", weight=1.0, start_us=20 * SEC, end_us=200 * SEC,
+                    concurrency=concurrency, surge_period_us=30 * SEC,
+                    surge_duty=0.6),
+        TenantTrace("tenant-3", weight=2.0, start_us=90 * SEC, end_us=150 * SEC,
+                    concurrency=concurrency, surge_period_us=15 * SEC,
+                    surge_duty=0.5),
+    ]

@@ -1,0 +1,164 @@
+"""Tests for the tenant schedulers (repro.dne.scheduler)."""
+
+import pytest
+
+from repro.dne import DwrrScheduler, FcfsScheduler
+
+
+# ---------------------------------------------------------------------------
+# FCFS
+# ---------------------------------------------------------------------------
+
+def test_fcfs_arrival_order():
+    sched = FcfsScheduler()
+    sched.enqueue("a", "m1")
+    sched.enqueue("b", "m2")
+    sched.enqueue("a", "m3")
+    assert sched.dequeue() == ("a", "m1")
+    assert sched.dequeue() == ("b", "m2")
+    assert sched.dequeue() == ("a", "m3")
+    assert sched.dequeue() is None
+
+
+def test_fcfs_pending_and_backlog():
+    sched = FcfsScheduler()
+    assert sched.pending() == 0
+    sched.enqueue("a", 1)
+    sched.enqueue("a", 2)
+    sched.enqueue("b", 3)
+    assert sched.pending() == 3
+    assert sched.backlog("a") == 2
+    assert sched.backlog("b") == 1
+    sched.dequeue()
+    assert sched.backlog("a") == 1
+
+
+def test_fcfs_burst_starves_steady_tenant():
+    """The Fig. 15 (1) effect: a queue flooded by one tenant serves it."""
+    sched = FcfsScheduler()
+    for _ in range(100):
+        sched.enqueue("bursty", "x")
+    sched.enqueue("steady", "y")
+    first_100 = [sched.dequeue()[0] for _ in range(100)]
+    assert set(first_100) == {"bursty"}
+
+
+# ---------------------------------------------------------------------------
+# DWRR
+# ---------------------------------------------------------------------------
+
+def test_dwrr_quantum_validation():
+    with pytest.raises(ValueError):
+        DwrrScheduler(quantum_bytes=0)
+
+
+def test_dwrr_weight_validation():
+    sched = DwrrScheduler()
+    with pytest.raises(ValueError):
+        sched.set_weight("a", 0)
+    with pytest.raises(ValueError):
+        sched.set_weight("a", -1)
+
+
+def test_dwrr_default_weight_is_one():
+    assert DwrrScheduler().weight("nobody") == 1.0
+
+
+def test_dwrr_empty_dequeue():
+    assert DwrrScheduler().dequeue() is None
+
+
+def test_dwrr_single_tenant_fifo():
+    sched = DwrrScheduler()
+    for i in range(5):
+        sched.enqueue("a", i, nbytes=100)
+    assert [sched.dequeue()[1] for i in range(5)] == [0, 1, 2, 3, 4]
+
+
+def test_dwrr_weighted_shares_equal_sizes():
+    """Backlogged tenants split dequeues by weight (Fig. 15 (2))."""
+    sched = DwrrScheduler(quantum_bytes=256)
+    sched.set_weight("t1", 6.0)
+    sched.set_weight("t2", 1.0)
+    sched.set_weight("t3", 2.0)
+    for tenant in ("t1", "t2", "t3"):
+        for i in range(900):
+            sched.enqueue(tenant, i, nbytes=256)
+    counts = {"t1": 0, "t2": 0, "t3": 0}
+    for _ in range(900):
+        tenant, _item = sched.dequeue()
+        counts[tenant] += 1
+    total = sum(counts.values())
+    assert counts["t1"] / total == pytest.approx(6 / 9, abs=0.03)
+    assert counts["t2"] / total == pytest.approx(1 / 9, abs=0.03)
+    assert counts["t3"] / total == pytest.approx(2 / 9, abs=0.03)
+
+
+def test_dwrr_byte_fairness_with_mixed_sizes():
+    """Fairness is in bytes, not messages: small-message tenants get
+    proportionally more dequeues."""
+    sched = DwrrScheduler(quantum_bytes=1024)
+    sched.set_weight("small", 1.0)
+    sched.set_weight("large", 1.0)
+    for i in range(4000):
+        sched.enqueue("small", i, nbytes=256)
+    for i in range(1000):
+        sched.enqueue("large", i, nbytes=1024)
+    bytes_served = {"small": 0, "large": 0}
+    for _ in range(2000):
+        tenant, _ = sched.dequeue()
+        bytes_served[tenant] += 256 if tenant == "small" else 1024
+    ratio = bytes_served["small"] / bytes_served["large"]
+    assert ratio == pytest.approx(1.0, abs=0.25)
+
+
+def test_dwrr_idle_tenant_gets_no_stale_credit():
+    """A tenant that goes idle loses its deficit (standard DWRR)."""
+    sched = DwrrScheduler(quantum_bytes=100)
+    sched.set_weight("a", 1.0)
+    sched.enqueue("a", "x", nbytes=100)
+    assert sched.dequeue() == ("a", "x")
+    # tenant left the active list with zero deficit
+    assert sched._deficit["a"] == 0.0
+
+
+def test_dwrr_large_message_eventually_served():
+    """A head-of-line message bigger than one quantum still transmits."""
+    sched = DwrrScheduler(quantum_bytes=64)
+    sched.set_weight("a", 1.0)
+    sched.enqueue("a", "jumbo", nbytes=4096)
+    assert sched.dequeue() == ("a", "jumbo")
+
+
+def test_dwrr_work_conserving():
+    """dequeue never returns None while work is pending."""
+    sched = DwrrScheduler(quantum_bytes=10)
+    for i in range(50):
+        sched.enqueue(f"t{i % 5}", i, nbytes=1000)
+    served = 0
+    while sched.pending():
+        assert sched.dequeue() is not None
+        served += 1
+    assert served == 50
+
+
+def test_dwrr_new_tenant_joins_round():
+    sched = DwrrScheduler(quantum_bytes=100)
+    sched.set_weight("a", 1.0)
+    sched.set_weight("b", 1.0)
+    for i in range(10):
+        sched.enqueue("a", f"a{i}", nbytes=100)
+    assert sched.dequeue()[0] == "a"
+    for i in range(10):
+        sched.enqueue("b", f"b{i}", nbytes=100)
+    tenants = [sched.dequeue()[0] for _ in range(18)]
+    assert "b" in tenants  # late joiner is served within the round
+    assert abs(tenants.count("a") - tenants.count("b")) <= 2
+
+
+def test_dwrr_backlog_per_tenant():
+    sched = DwrrScheduler()
+    sched.enqueue("a", 1, nbytes=10)
+    sched.enqueue("a", 2, nbytes=10)
+    assert sched.backlog("a") == 2
+    assert sched.backlog("b") == 0

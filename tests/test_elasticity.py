@@ -1,0 +1,170 @@
+"""Tests for function elasticity: replicas, scale-out/in, churn."""
+
+import pytest
+
+from repro.platform import ElasticPlatform, FunctionSpec, ServiceGroup, Tenant
+from repro.sim import Environment
+
+
+def make_elastic(replicas=2, node="worker1"):
+    env = Environment()
+    plat = ElasticPlatform(env)
+    plat.add_tenant(Tenant("t1", pool_buffers=1024))
+    caller = plat.deploy(FunctionSpec("caller", "t1", work_us=0), "worker0")
+    spec = FunctionSpec("svc", "t1", work_us=5)
+    instances = plat.deploy_service(spec, node, replicas=replicas)
+    plat.start()
+    return env, plat, caller, spec, instances
+
+
+def drive(env, caller, n, out, dst="svc"):
+    def body():
+        yield env.timeout(30_000)
+        for i in range(n):
+            reply = yield from caller.invoke(dst, f"m{i}", 64)
+            out.append(reply.payload)
+
+    env.process(body())
+
+
+# ---------------------------------------------------------------------------
+# ServiceGroup
+# ---------------------------------------------------------------------------
+
+def test_service_group_round_robin():
+    group = ServiceGroup("s")
+    group.add("s#0")
+    group.add("s#1")
+    picks = [group.pick() for _ in range(4)]
+    assert picks == ["s#0", "s#1", "s#0", "s#1"]
+
+
+def test_service_group_empty_raises():
+    with pytest.raises(LookupError):
+        ServiceGroup("s").pick()
+
+
+# ---------------------------------------------------------------------------
+# deploy / invoke via logical name
+# ---------------------------------------------------------------------------
+
+def test_service_invocation_round_trips():
+    env, plat, caller, spec, instances = make_elastic()
+    out = []
+    drive(env, caller, 6, out)
+    env.run(until=400_000)
+    assert out == [f"m{i}" for i in range(6)]
+
+
+def test_requests_spread_across_replicas():
+    env, plat, caller, spec, instances = make_elastic(replicas=2)
+    out = []
+    drive(env, caller, 8, out)
+    env.run(until=600_000)
+    handled = [inst.handled for inst in instances]
+    assert sum(handled) == 8
+    assert all(h == 4 for h in handled)  # perfect round robin
+
+
+def test_duplicate_service_rejected():
+    env, plat, caller, spec, instances = make_elastic()
+    with pytest.raises(ValueError):
+        plat.deploy_service(spec, "worker1")
+
+
+def test_scale_out_unknown_service_rejected():
+    env, plat, caller, spec, instances = make_elastic()
+    with pytest.raises(KeyError):
+        plat.scale_out(FunctionSpec("ghost", "t1"), "worker0")
+
+
+def test_scale_out_adds_capacity_mid_run():
+    env, plat, caller, spec, instances = make_elastic(replicas=1)
+    out = []
+    drive(env, caller, 4, out)
+
+    def scaler():
+        yield env.timeout(100_000)
+        plat.scale_out(spec, "worker0")  # second replica, co-located
+        yield env.timeout(1000)
+        assert plat.replica_count("svc") == 2
+
+    env.process(scaler())
+    env.run(until=600_000)
+    assert len(out) == 4
+    # the late replica exists and is routable
+    assert "svc#1" in plat.functions
+
+
+def test_scale_in_withdraws_routes():
+    env, plat, caller, spec, instances = make_elastic(replicas=2)
+    out = []
+
+    def body():
+        yield env.timeout(30_000)
+        for i in range(2):
+            reply = yield from caller.invoke("svc", f"a{i}", 64)
+            out.append(reply.payload)
+        victim = plat.scale_in("svc")
+        assert victim == "svc#1"
+        for i in range(4):
+            reply = yield from caller.invoke("svc", f"b{i}", 64)
+            out.append(reply.payload)
+
+    env.process(body())
+    env.run(until=800_000)
+    assert len(out) == 6
+    # all post-retirement requests landed on the surviving replica
+    assert plat.functions["svc#0"].handled >= 5
+    assert not plat.coordinator.placement.get("svc#1")
+
+
+def test_scale_in_empty_service_rejected():
+    env, plat, caller, spec, instances = make_elastic(replicas=1)
+    plat.scale_in("svc")
+    with pytest.raises((RuntimeError, IndexError)):
+        plat.scale_in("svc")
+
+
+def test_scale_in_unknown_service_rejected():
+    env, plat, caller, spec, instances = make_elastic()
+    with pytest.raises(KeyError):
+        plat.scale_in("ghost")
+
+
+def test_singleton_and_service_interoperate():
+    env = Environment()
+    plat = ElasticPlatform(env)
+    plat.add_tenant(Tenant("t1"))
+    caller = plat.deploy(FunctionSpec("caller", "t1", work_us=0), "worker0")
+
+    def orchestrator(ctx, msg):
+        reply = yield from ctx.invoke("leaf", msg.payload, 64)
+        yield from ctx.respond(reply.payload, 64)
+
+    plat.deploy(FunctionSpec("mid", "t1", orchestrator), "worker0")
+    plat.deploy_service(FunctionSpec("leaf", "t1", work_us=1), "worker1",
+                        replicas=2)
+    plat.start()
+    out = []
+    drive(env, caller, 3, out, dst="mid")
+    env.run(until=500_000)
+    assert out == ["m0", "m1", "m2"]
+
+
+def test_replicas_on_different_nodes():
+    env = Environment()
+    plat = ElasticPlatform(env)
+    plat.add_tenant(Tenant("t1"))
+    caller = plat.deploy(FunctionSpec("caller", "t1", work_us=0), "worker0")
+    spec = FunctionSpec("svc", "t1", work_us=0)
+    plat.deploy_service(spec, "worker0", replicas=1)
+    plat.scale_out(spec, "worker1")
+    plat.start()
+    out = []
+    drive(env, caller, 4, out)
+    env.run(until=500_000)
+    assert len(out) == 4
+    # one replica local (skmsg), one remote (engine)
+    assert caller.iolib.intra_sends == 2
+    assert caller.iolib.inter_sends == 2

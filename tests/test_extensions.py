@@ -1,0 +1,238 @@
+"""Tests for extension features: security domains, multi-ingress LB,
+ablation experiments, and the CLI runner."""
+
+import pytest
+
+from repro.config import CostModel
+from repro.experiments.__main__ import EXPERIMENTS, main
+from repro.ingress import IngressLoadBalancer, PalladiumIngress
+from repro.platform import FunctionSpec, ServerlessPlatform, Tenant
+from repro.sim import Environment
+from repro.workloads import ClientFleet, deploy_http_echo
+
+
+# ---------------------------------------------------------------------------
+# Cross-security-domain copies (§3.1)
+# ---------------------------------------------------------------------------
+
+def two_tenant_platform():
+    env = Environment()
+    plat = ServerlessPlatform(env)
+    plat.add_tenant(Tenant("t1"))
+    plat.add_tenant(Tenant("t2"))
+    caller = plat.deploy(FunctionSpec("caller", "t1", work_us=0), "worker0")
+    plat.deploy(FunctionSpec("same-tenant", "t1", work_us=0), "worker0")
+    plat.deploy(FunctionSpec("other-tenant", "t2", work_us=0), "worker0")
+    plat.start()
+    return env, plat, caller
+
+
+def test_same_tenant_is_zero_copy():
+    env, plat, caller = two_tenant_platform()
+
+    def body():
+        yield env.timeout(30_000)
+        yield from caller.invoke("same-tenant", "x", 64)
+
+    env.process(body())
+    env.run(until=200_000)
+    assert caller.iolib.cross_domain_sends == 0
+    assert caller.iolib.intra_sends == 1
+
+
+def test_cross_tenant_invocation_copies():
+    env, plat, caller = two_tenant_platform()
+    replies = []
+
+    def body():
+        yield env.timeout(30_000)
+        reply = yield from caller.invoke("other-tenant", "secret", 64)
+        replies.append(reply.payload)
+
+    env.process(body())
+    env.run(until=200_000)
+    assert replies == ["secret"]
+    assert caller.iolib.cross_domain_sends >= 1
+
+
+def test_cross_tenant_buffer_stays_in_destination_pool():
+    """The copy lands in the destination tenant's pool; the sender's
+    buffer never crosses the domain."""
+    env, plat, caller = two_tenant_platform()
+
+    def body():
+        yield env.timeout(30_000)
+        yield from caller.invoke("other-tenant", "x", 64)
+
+    env.process(body())
+    env.run(until=200_000)
+    # pools fully recycled afterwards => no foreign buffers trapped
+    for tenant in ("t1", "t2"):
+        pool = plat.pool_for(tenant, "worker0")
+        assert pool.free_count == pool.buffer_count - plat.recv_buffers
+
+
+def test_infrastructure_endpoints_are_trusted():
+    """The ingress adapter (tenant None) never triggers domain copies."""
+    env, plat, caller = two_tenant_platform()
+    runtime = plat.runtimes["worker0"]
+    assert not runtime.crosses_security_domain("t1", "same-tenant")
+    assert runtime.crosses_security_domain("t1", "other-tenant")
+    assert not runtime.crosses_security_domain("t1", "_some_adapter")
+
+
+def test_cross_tenant_remote_rejected():
+    env = Environment()
+    plat = ServerlessPlatform(env)
+    plat.add_tenant(Tenant("t1"))
+    plat.add_tenant(Tenant("t2"))
+    caller = plat.deploy(FunctionSpec("caller", "t1", work_us=0), "worker0")
+    plat.deploy(FunctionSpec("remote-other", "t2", work_us=0), "worker1")
+    plat.start()
+
+    def body():
+        yield env.timeout(30_000)
+        yield from caller.invoke("remote-other", "x", 64)
+
+    env.process(body())
+    with pytest.raises(RuntimeError, match="cross-tenant"):
+        env.run(until=200_000)
+
+
+# ---------------------------------------------------------------------------
+# Multi-instance ingress load balancing
+# ---------------------------------------------------------------------------
+
+def balanced_setup(instances=2):
+    env = Environment()
+    plat = ServerlessPlatform(env)
+    resolver = deploy_http_echo(plat)
+    gateways = []
+    for _ in range(instances):
+        gw = PalladiumIngress(env, plat.cluster, plat.fabric, plat.cost,
+                              resolver, min_workers=1)
+        gw.add_tenant("echo", buffers=256)
+        plat.coordinator.subscribe(gw.routes)
+        gateways.append(gw)
+    plat.register_external(gateways[0].AGENT, "ingress")
+    balancer = IngressLoadBalancer(gateways)
+    balancer.start()
+    plat.start()
+    return env, plat, balancer
+
+
+def test_balancer_requires_instances():
+    with pytest.raises(ValueError):
+        IngressLoadBalancer([])
+
+
+def test_balancer_end_to_end():
+    env, plat, balancer = balanced_setup()
+    fleet = ClientFleet(env, plat.cluster, balancer, path="/echo",
+                        body_bytes=128, payload="x")
+
+    def kickoff():
+        yield env.timeout(50_000)
+        fleet.spawn(8)
+
+    env.process(kickoff())
+    env.run(until=300_000)
+    assert fleet.total_completed() > 100
+    assert fleet.total_errors() == 0
+
+
+def test_balancer_spreads_connections():
+    env, plat, balancer = balanced_setup()
+    for _ in range(32):
+        balancer.connect()
+    per_instance = [i.stats.accepted for i in balancer.instances]
+    # connections spread, not all on one instance
+    fleet_conns = len(balancer._owner)
+    assert fleet_conns == 32
+    owners = {id(v) for v in balancer._owner.values()}
+    assert len(owners) == 2
+
+
+def test_balancer_aggregates_stats():
+    env, plat, balancer = balanced_setup()
+    fleet = ClientFleet(env, plat.cluster, balancer, path="/echo",
+                        body_bytes=128, payload="x")
+
+    def kickoff():
+        yield env.timeout(50_000)
+        fleet.spawn(4)
+
+    env.process(kickoff())
+    env.run(until=200_000)
+    assert balancer.completed() == fleet.total_completed()
+
+
+# ---------------------------------------------------------------------------
+# Ablation experiments (quick shapes)
+# ---------------------------------------------------------------------------
+
+def test_sidecar_ablation_shape():
+    from repro.experiments import run_sidecar_ablation
+    result = run_sidecar_ablation(clients=12, duration_us=60_000)
+    container = result.find_row(sidecar="container-sidecar")
+    ebpf = result.find_row(sidecar="ebpf-sidecar")
+    shared = result.find_row(sidecar="shared-sidecar")
+    assert container["rps"] < ebpf["rps"] <= shared["rps"] * 1.05
+    assert container["latency_ms"] > ebpf["latency_ms"]
+
+
+def test_placement_ablation_shape():
+    from repro.experiments import run_placement_ablation
+    result = run_placement_ablation(clients=12, duration_us=80_000)
+    pd_local = result.find_row(data_plane="palladium", placement="co-located")
+    pd_split = result.find_row(data_plane="palladium", placement="split")
+    sp_local = result.find_row(data_plane="spright", placement="co-located")
+    sp_split = result.find_row(data_plane="spright", placement="split")
+    pd_hit = pd_split["latency_ms"] / pd_local["latency_ms"]
+    sp_hit = sp_split["latency_ms"] / sp_local["latency_ms"]
+    # kernel-stack data plane suffers more from lost locality (§2)
+    assert sp_hit > pd_hit > 1.0
+
+
+# ---------------------------------------------------------------------------
+# Fig. 14 (compressed) smoke
+# ---------------------------------------------------------------------------
+
+def test_fig14_palladium_scales_up():
+    from repro.experiments import run_fig14
+    result = run_fig14("palladium", steps=4, time_scale=0.02, cost_scale=8.0)
+    assert any("scale events" in n for n in result.notes)
+    cores = [row[1] for row in result.rows]
+    assert max(cores) > min(c for c in cores if c > 0)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def test_cli_list(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("fig12", "fig16", "table2"):
+        assert name in out
+
+
+def test_cli_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["figXX"])
+
+
+def test_cli_no_args_shows_help(capsys):
+    assert main([]) == 2
+
+
+def test_cli_quick_table1(capsys):
+    assert main(["--quick", "table1"]) == 0
+    out = capsys.readouterr().out
+    assert "PALLADIUM" in out
+
+
+def test_cli_registry_complete():
+    for key in ("fig09", "fig11", "fig12", "fig13", "fig14", "fig15",
+                "fig16", "table1", "table2"):
+        assert key in EXPERIMENTS

@@ -1,0 +1,269 @@
+"""Tests for the cluster ingress gateways (Palladium / K / F) + autoscaler."""
+
+import pytest
+
+from repro.config import CostModel, SEC
+from repro.ingress import (
+    Autoscaler,
+    FIngress,
+    GatewayWorker,
+    KIngress,
+    PalladiumIngress,
+    TcpWorkerAdapter,
+)
+from repro.net import HttpRequest
+from repro.platform import ServerlessPlatform, Tenant
+from repro.sim import Environment
+from repro.workloads import ClientFleet, deploy_http_echo, ECHO_TENANT
+
+
+def palladium_setup():
+    env = Environment()
+    plat = ServerlessPlatform(env)
+    resolver = deploy_http_echo(plat)
+    ingress = PalladiumIngress(env, plat.cluster, plat.fabric, plat.cost,
+                               resolver, min_workers=1)
+    ingress.add_tenant(ECHO_TENANT)
+    plat.coordinator.subscribe(ingress.routes)
+    plat.register_external(ingress.AGENT, "ingress")
+    ingress.start()
+    plat.start()
+    return env, plat, ingress
+
+
+def proxy_setup(kind):
+    env = Environment()
+    plat = ServerlessPlatform(env)
+    resolver = deploy_http_echo(plat)
+    adapter = TcpWorkerAdapter(env, plat.runtimes["worker0"], plat.cost,
+                               stack_kind=TcpWorkerAdapter.FSTACK)
+    factory = KIngress if kind == "k" else FIngress
+    ingress = factory(env, plat.cluster, plat.cost, resolver,
+                      {"worker0": adapter}, lambda fn: "worker0", cores=1)
+    ingress.start()
+    plat.start()
+    return env, plat, ingress
+
+
+def run_fleet(env, plat, ingress, clients=2, until=400_000):
+    fleet = ClientFleet(env, plat.cluster, ingress, path="/echo",
+                        body_bytes=128, payload="hello")
+
+    def kickoff():
+        yield env.timeout(50_000)
+        fleet.spawn(clients)
+
+    env.process(kickoff())
+    env.run(until=until)
+    return fleet
+
+
+# ---------------------------------------------------------------------------
+# Palladium ingress
+# ---------------------------------------------------------------------------
+
+def test_palladium_ingress_end_to_end():
+    env, plat, ingress = palladium_setup()
+    fleet = run_fleet(env, plat, ingress)
+    assert fleet.total_completed() > 100
+    assert fleet.total_errors() == 0
+    # responses echo the request payload
+    assert ingress.stats.completed == fleet.total_completed()
+
+
+def test_palladium_ingress_payload_integrity():
+    env, plat, ingress = palladium_setup()
+    conn = ingress.connect()
+    got = []
+
+    def client():
+        yield env.timeout(50_000)
+        request = HttpRequest("/echo", body="precious", body_bytes=64)
+        yield from plat.cluster.ether_up.transmit(request.wire_bytes)
+        ingress.submit(conn, request)
+        response = yield conn.inbox.get()
+        got.append(response)
+
+    env.process(client())
+    env.run(until=300_000)
+    assert got and got[0].body == "precious"
+    assert got[0].status == 200
+
+
+def test_palladium_ingress_recycles_buffers():
+    env, plat, ingress = palladium_setup()
+    fleet = run_fleet(env, plat, ingress)
+    pool = ingress.pools[ECHO_TENANT]
+    # free = total - posted receive buffers (replenished steady state)
+    assert pool.free_count >= pool.buffer_count - ingress.recv_buffers - 8
+
+
+def test_palladium_ingress_duplicate_tenant_rejected():
+    env, plat, ingress = palladium_setup()
+    with pytest.raises(ValueError):
+        ingress.add_tenant(ECHO_TENANT)
+
+
+def test_palladium_rss_spreads_connections():
+    env = Environment()
+    plat = ServerlessPlatform(env)
+    resolver = deploy_http_echo(plat)
+    ingress = PalladiumIngress(env, plat.cluster, plat.fabric, plat.cost,
+                               resolver, min_workers=4)
+    ingress.add_tenant(ECHO_TENANT)
+    ingress.start()
+    workers = {id(ingress.workers[0])}
+    from repro.ingress.gateway import rss_pick
+    picks = {rss_pick(ingress.workers, i).name for i in range(64)}
+    assert len(picks) == 4
+
+
+# ---------------------------------------------------------------------------
+# Proxy ingresses
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("kind", ["k", "f"])
+def test_proxy_ingress_end_to_end(kind):
+    env, plat, ingress = proxy_setup(kind)
+    fleet = run_fleet(env, plat, ingress)
+    assert fleet.total_completed() > 50
+    assert fleet.total_errors() == 0
+
+
+def test_proxy_f_faster_than_k():
+    results = {}
+    for kind in ("k", "f"):
+        env, plat, ingress = proxy_setup(kind)
+        fleet = run_fleet(env, plat, ingress, clients=8)
+        results[kind] = fleet.total_completed()
+    assert results["f"] > results["k"] * 1.5
+
+
+def test_palladium_beats_proxies():
+    env, plat, ingress = palladium_setup()
+    palladium = run_fleet(env, plat, ingress, clients=8).total_completed()
+    env2, plat2, f_ingress = proxy_setup("f")
+    fstack = run_fleet(env2, plat2, f_ingress, clients=8).total_completed()
+    assert palladium > fstack
+
+
+def test_adapter_stack_kind_validation():
+    env = Environment()
+    plat = ServerlessPlatform(env)
+    plat.add_tenant(Tenant(ECHO_TENANT))
+    with pytest.raises(ValueError):
+        TcpWorkerAdapter(env, plat.runtimes["worker0"], plat.cost,
+                         stack_kind="quantum")
+
+
+def test_kernel_adapter_uses_shared_cores():
+    env = Environment()
+    plat = ServerlessPlatform(env)
+    plat.add_tenant(Tenant(ECHO_TENANT))
+    before = plat.cluster.node("worker0").cpu.free_cores
+    TcpWorkerAdapter(env, plat.runtimes["worker0"], plat.cost,
+                     stack_kind=TcpWorkerAdapter.KERNEL)
+    assert plat.cluster.node("worker0").cpu.free_cores == before
+
+
+def test_fstack_adapter_pins_a_core():
+    env = Environment()
+    plat = ServerlessPlatform(env)
+    plat.add_tenant(Tenant(ECHO_TENANT))
+    before = plat.cluster.node("worker0").cpu.free_cores
+    TcpWorkerAdapter(env, plat.runtimes["worker0"], plat.cost,
+                     stack_kind=TcpWorkerAdapter.FSTACK)
+    assert plat.cluster.node("worker0").cpu.free_cores == before - 1
+
+
+# ---------------------------------------------------------------------------
+# Autoscaler (hysteresis policy, §3.6)
+# ---------------------------------------------------------------------------
+
+class _FakeCore:
+    def __init__(self):
+        class _Tracker:
+            useful = 0.0
+        self.tracker = _Tracker()
+
+
+def make_autoscaler(env, cost):
+    workers = []
+    counter = {"n": 0}
+
+    def spawn():
+        worker = GatewayWorker(env, counter["n"], _FakeCore())
+        counter["n"] += 1
+        workers.append(worker)
+
+    def reap():
+        workers.pop()
+
+    spawn()
+    scaler = Autoscaler(env, cost, spawn, reap, lambda: workers,
+                        min_workers=1, max_workers=4)
+    return scaler, workers
+
+
+def test_autoscaler_scales_up_past_threshold():
+    env = Environment()
+    cost = CostModel()
+    scaler, workers = make_autoscaler(env, cost)
+
+    def load():
+        while True:
+            yield env.timeout(100_000)
+            for worker in workers:
+                worker.core.tracker.useful += 80_000  # 80% busy
+
+    env.process(load())
+    env.process(scaler.run())
+    env.run(until=3.5 * SEC)
+    assert len(workers) > 1
+    assert scaler.scale_events >= 1
+
+
+def test_autoscaler_scales_down_when_idle():
+    env = Environment()
+    cost = CostModel()
+    scaler, workers = make_autoscaler(env, cost)
+    workers_ref = workers
+    # start with 3 workers, all idle
+    for _ in range(2):
+        workers_ref.append(GatewayWorker(env, 99, _FakeCore()))
+    env.process(scaler.run())
+    env.run(until=3.5 * SEC)
+    assert len(workers_ref) == 1  # reaped down to min
+
+
+def test_autoscaler_respects_max():
+    env = Environment()
+    cost = CostModel()
+    scaler, workers = make_autoscaler(env, cost)
+
+    def load():
+        while True:
+            yield env.timeout(100_000)
+            for worker in workers:
+                worker.core.tracker.useful += 95_000
+
+    env.process(load())
+    env.process(scaler.run())
+    env.run(until=10 * SEC)
+    assert len(workers) == 4  # capped at max_workers
+
+
+def test_scale_event_pauses_workers():
+    env = Environment()
+    cost = CostModel()
+    worker = GatewayWorker(env, 0, _FakeCore())
+    worker.pause(1000.0)
+    resumed = []
+
+    def proc():
+        yield from worker.maybe_pause()
+        resumed.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert resumed == [1000.0]

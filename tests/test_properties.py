@@ -1,0 +1,190 @@
+"""Property-based tests (hypothesis) on core data structures & invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dne import DwrrScheduler, FcfsScheduler
+from repro.memory import MemoryPool, OwnershipError, PoolExhausted
+from repro.sim import Environment, Resource, Store
+
+
+# ---------------------------------------------------------------------------
+# Store: FIFO, conservation
+# ---------------------------------------------------------------------------
+
+@given(st.lists(st.integers(), max_size=60))
+def test_store_fifo_property(items):
+    env = Environment()
+    store = Store(env)
+    for item in items:
+        store.put_nowait(item)
+    out = []
+    while True:
+        value = store.try_get()
+        if value is None:
+            break
+        out.append(value)
+    assert out == items
+
+
+@given(st.lists(st.sampled_from(["put", "get"]), max_size=100))
+def test_store_conservation_under_op_sequences(ops):
+    env = Environment()
+    store = Store(env)
+    put, got = 0, 0
+    for op in ops:
+        if op == "put":
+            store.put_nowait(put)
+            put += 1
+        else:
+            if store.try_get() is not None:
+                got += 1
+    assert put - got == len(store.items)
+
+
+# ---------------------------------------------------------------------------
+# Resource: capacity invariant under random hold times
+# ---------------------------------------------------------------------------
+
+@given(
+    capacity=st.integers(min_value=1, max_value=5),
+    holds=st.lists(st.floats(min_value=0.1, max_value=20.0), min_size=1,
+                   max_size=20),
+)
+@settings(max_examples=30, deadline=None)
+def test_resource_never_exceeds_capacity(capacity, holds):
+    env = Environment()
+    res = Resource(env, capacity=capacity)
+    peak = [0]
+
+    def worker(duration):
+        req = res.request()
+        yield req
+        peak[0] = max(peak[0], res.count)
+        yield env.timeout(duration)
+        res.release(req)
+
+    for duration in holds:
+        env.process(worker(duration))
+    env.run()
+    assert peak[0] <= capacity
+    assert res.count == 0
+
+
+# ---------------------------------------------------------------------------
+# MemoryPool: buffer conservation, exclusive ownership
+# ---------------------------------------------------------------------------
+
+@given(st.lists(st.sampled_from(["get", "put", "transfer"]), max_size=200))
+def test_mempool_conservation(ops):
+    env = Environment()
+    pool = MemoryPool(env, "t", 8, 256)
+    held = []
+    for op in ops:
+        if op == "get":
+            try:
+                held.append(pool.get("a"))
+            except PoolExhausted:
+                assert len(held) == 8
+        elif op == "put" and held:
+            buf = held.pop()
+            pool.put(buf, buf.owner)
+        elif op == "transfer" and held:
+            held[-1].transfer(held[-1].owner, f"agent{len(held)}")
+    assert pool.free_count + len(held) == 8
+    # every held buffer still rejects access by a stranger
+    for buf in held:
+        try:
+            buf.read("stranger")
+            assert False, "ownership not enforced"
+        except OwnershipError:
+            pass
+
+
+@given(st.data())
+def test_mempool_no_double_ownership(data):
+    """A buffer handed off is never accessible to the previous owner."""
+    env = Environment()
+    pool = MemoryPool(env, "t", 4, 64)
+    buf = pool.get("owner0")
+    chain = ["owner0"]
+    for i in range(data.draw(st.integers(min_value=1, max_value=10))):
+        new_owner = f"owner{i + 1}"
+        buf.transfer(chain[-1], new_owner)
+        chain.append(new_owner)
+    for stale in chain[:-1]:
+        try:
+            buf.write(stale, "x", 1)
+            assert False
+        except OwnershipError:
+            pass
+    buf.write(chain[-1], "ok", 2)
+
+
+# ---------------------------------------------------------------------------
+# DWRR: weighted fairness and work conservation as properties
+# ---------------------------------------------------------------------------
+
+@given(
+    weights=st.lists(st.floats(min_value=0.5, max_value=8.0), min_size=2,
+                     max_size=5),
+    size=st.integers(min_value=64, max_value=4096),
+)
+@settings(max_examples=25, deadline=None)
+def test_dwrr_shares_proportional_to_weights(weights, size):
+    sched = DwrrScheduler(quantum_bytes=256)
+    tenants = [f"t{i}" for i in range(len(weights))]
+    for tenant, weight in zip(tenants, weights):
+        sched.set_weight(tenant, weight)
+        for j in range(3000):
+            sched.enqueue(tenant, j, nbytes=size)
+    served = {tenant: 0 for tenant in tenants}
+    rounds = 1500
+    for _ in range(rounds):
+        tenant, _ = sched.dequeue()
+        served[tenant] += 1
+    total_weight = sum(weights)
+    for tenant, weight in zip(tenants, weights):
+        expected = rounds * weight / total_weight
+        assert abs(served[tenant] - expected) <= max(10, 0.15 * expected)
+
+
+@given(st.lists(
+    st.tuples(st.sampled_from(["a", "b", "c"]),
+              st.integers(min_value=1, max_value=5000)),
+    max_size=120,
+))
+def test_dwrr_work_conserving_property(messages):
+    sched = DwrrScheduler(quantum_bytes=128)
+    for tenant, nbytes in messages:
+        sched.enqueue(tenant, nbytes, nbytes=nbytes)
+    out = 0
+    while sched.pending():
+        assert sched.dequeue() is not None
+        out += 1
+    assert out == len(messages)
+
+
+@given(st.lists(
+    st.tuples(st.sampled_from(["x", "y"]), st.text(max_size=3)),
+    max_size=80,
+))
+def test_fcfs_preserves_global_order(messages):
+    sched = FcfsScheduler()
+    for tenant, item in messages:
+        sched.enqueue(tenant, item)
+    out = []
+    while sched.pending():
+        out.append(sched.dequeue())
+    assert out == messages
+
+
+@given(st.lists(st.integers(min_value=1, max_value=8192), min_size=1,
+                max_size=60))
+def test_dwrr_single_tenant_preserves_fifo(sizes):
+    sched = DwrrScheduler(quantum_bytes=512)
+    for i, nbytes in enumerate(sizes):
+        sched.enqueue("only", i, nbytes=nbytes)
+    out = []
+    while sched.pending():
+        out.append(sched.dequeue()[1])
+    assert out == list(range(len(sizes)))

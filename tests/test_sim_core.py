@@ -1,0 +1,391 @@
+"""Tests for the discrete-event kernel (repro.sim.core)."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+)
+
+
+def test_clock_starts_at_zero():
+    assert Environment().now == 0.0
+
+
+def test_clock_custom_start():
+    assert Environment(5.0).now == 5.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    log = []
+
+    def proc():
+        yield env.timeout(10)
+        log.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert log == [10.0]
+
+
+def test_timeout_value_delivered():
+    env = Environment()
+    got = []
+
+    def proc():
+        value = yield env.timeout(1, value="hello")
+        got.append(value)
+
+    env.process(proc())
+    env.run()
+    assert got == ["hello"]
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1)
+
+
+def test_events_fire_in_time_order():
+    env = Environment()
+    order = []
+
+    def proc(delay, tag):
+        yield env.timeout(delay)
+        order.append(tag)
+
+    env.process(proc(30, "c"))
+    env.process(proc(10, "a"))
+    env.process(proc(20, "b"))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fifo():
+    env = Environment()
+    order = []
+
+    def proc(tag):
+        yield env.timeout(5)
+        order.append(tag)
+
+    for tag in "abcd":
+        env.process(proc(tag))
+    env.run()
+    assert order == list("abcd")
+
+
+def test_manual_event_succeed():
+    env = Environment()
+    event = env.event()
+    got = []
+
+    def waiter():
+        value = yield event
+        got.append((env.now, value))
+
+    def trigger():
+        yield env.timeout(7)
+        event.succeed(42)
+
+    env.process(waiter())
+    env.process(trigger())
+    env.run()
+    assert got == [(7.0, 42)]
+
+
+def test_event_double_trigger_rejected():
+    env = Environment()
+    event = env.event()
+    event.succeed()
+    with pytest.raises(SimulationError):
+        event.succeed()
+
+
+def test_event_fail_raises_in_waiter():
+    env = Environment()
+    event = env.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield event
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    def trigger():
+        yield env.timeout(1)
+        event.fail(RuntimeError("boom"))
+
+    env.process(waiter())
+    env.process(trigger())
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_fail_requires_exception_instance():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.event().fail("not an exception")
+
+
+def test_event_value_before_trigger_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        _ = env.event().value
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def child():
+        yield env.timeout(3)
+        return "result"
+
+    def parent(got):
+        value = yield env.process(child())
+        got.append(value)
+
+    got = []
+    env.process(parent(got))
+    env.run()
+    assert got == ["result"]
+
+
+def test_process_exception_propagates_to_waiter():
+    env = Environment()
+
+    def child():
+        yield env.timeout(1)
+        raise ValueError("child failed")
+
+    def parent(got):
+        try:
+            yield env.process(child())
+        except ValueError as exc:
+            got.append(str(exc))
+
+    got = []
+    env.process(parent(got))
+    env.run()
+    assert got == ["child failed"]
+
+
+def test_unhandled_process_failure_aborts_run():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1)
+        raise ValueError("unhandled")
+
+    env.process(bad())
+    with pytest.raises(ValueError, match="unhandled"):
+        env.run()
+
+
+def test_yield_non_event_is_an_error():
+    env = Environment()
+
+    def bad():
+        yield 42
+
+    env.process(bad())
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_run_until_time():
+    env = Environment()
+    log = []
+
+    def proc():
+        while True:
+            yield env.timeout(10)
+            log.append(env.now)
+
+    env.process(proc())
+    env.run(until=35)
+    assert log == [10.0, 20.0, 30.0]
+    assert env.now == 35.0
+
+
+def test_run_until_past_rejected():
+    env = Environment()
+    env.process((env.timeout(1) for _ in range(1)))
+    env.run(until=10)
+    with pytest.raises(ValueError):
+        env.run(until=5)
+
+
+def test_run_until_event():
+    env = Environment()
+
+    def child():
+        yield env.timeout(12)
+        return "done"
+
+    assert env.run(until=env.process(child())) == "done"
+    assert env.now == 12.0
+
+
+def test_run_until_event_never_fires():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.run(until=env.event())
+
+
+def test_interrupt_waiting_process():
+    env = Environment()
+    log = []
+
+    def sleeper():
+        try:
+            yield env.timeout(100)
+        except Interrupt as interrupt:
+            log.append((env.now, interrupt.cause))
+
+    def interrupter(proc):
+        yield env.timeout(5)
+        proc.interrupt("wake up")
+
+    proc = env.process(sleeper())
+    env.process(interrupter(proc))
+    env.run()
+    assert log == [(5.0, "wake up")]
+
+
+def test_interrupt_terminated_process_rejected():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1)
+
+    proc = env.process(quick())
+    env.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_interrupted_process_can_continue():
+    env = Environment()
+    log = []
+
+    def sleeper():
+        try:
+            yield env.timeout(100)
+        except Interrupt:
+            pass
+        yield env.timeout(10)
+        log.append(env.now)
+
+    def interrupter(proc):
+        yield env.timeout(5)
+        proc.interrupt()
+
+    proc = env.process(sleeper())
+    env.process(interrupter(proc))
+    env.run()
+    assert log == [15.0]
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+    log = []
+
+    def proc():
+        t1 = env.timeout(10, value="fast")
+        t2 = env.timeout(20, value="slow")
+        result = yield AnyOf(env, [t1, t2])
+        log.append((env.now, t1 in result, t2 in result))
+
+    env.process(proc())
+    env.run()
+    assert log == [(10.0, True, False)]
+
+
+def test_all_of_waits_for_all():
+    env = Environment()
+    log = []
+
+    def proc():
+        result = yield AllOf(env, [env.timeout(10), env.timeout(25)])
+        log.append((env.now, len(result)))
+
+    env.process(proc())
+    env.run()
+    assert log == [(25.0, 2)]
+
+
+def test_empty_condition_fires_immediately():
+    env = Environment()
+    log = []
+
+    def proc():
+        yield AllOf(env, [])
+        log.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert log == [0.0]
+
+
+def test_defer_runs_callback():
+    env = Environment()
+    log = []
+    env.defer(5, lambda: log.append(env.now))
+    env.defer(2, lambda: log.append(env.now))
+    env.run()
+    assert log == [2.0, 5.0]
+
+
+def test_completed_event_resumes_synchronously():
+    env = Environment()
+    log = []
+
+    def proc():
+        value = yield env.completed_event("instant")
+        log.append((env.now, value))
+        yield env.timeout(1)
+        log.append((env.now, "after"))
+
+    env.process(proc())
+    env.run()
+    assert log == [(0.0, "instant"), (1.0, "after")]
+
+
+def test_peek_and_step():
+    env = Environment()
+    env.process((env.timeout(5) for _ in range(1)))
+    # process initialization event is immediate
+    assert env.peek() == 0.0
+    env.step()
+    assert env.peek() == 5.0
+
+
+def test_step_without_events_is_error():
+    with pytest.raises(SimulationError):
+        Environment().step()
+
+
+def test_determinism_same_seed_same_trace():
+    def build_and_run():
+        env = Environment()
+        trace = []
+
+        def worker(i):
+            for step in range(3):
+                yield env.timeout(1 + (i * 7 + step) % 5)
+                trace.append((env.now, i, step))
+
+        for i in range(5):
+            env.process(worker(i))
+        env.run()
+        return trace
+
+    assert build_and_run() == build_and_run()

@@ -1,0 +1,136 @@
+"""Tests for the execution tracer (repro.sim.trace)."""
+
+import pytest
+
+from repro.sim import Environment, Tracer
+
+
+def test_tracer_records_resumptions():
+    env = Environment()
+    tracer = Tracer(env)
+
+    def worker():
+        yield env.timeout(1)
+        yield env.timeout(2)
+
+    env.process(worker(), name="worker")
+    env.run()
+    assert tracer.count("worker") == 3  # init + two timeouts
+    assert [r.time for r in tracer.records] == [0.0, 1.0, 3.0]
+
+
+def test_tracer_include_filter():
+    env = Environment()
+    tracer = Tracer(env, include="dne")
+
+    def loop():
+        yield env.timeout(1)
+
+    env.process(loop(), name="dne-loop")
+    env.process(loop(), name="client")
+    env.run()
+    assert tracer.count("dne-loop") > 0
+    assert tracer.count("client") == 0
+
+
+def test_tracer_preserves_return_values():
+    env = Environment()
+    Tracer(env)
+
+    def child():
+        yield env.timeout(1)
+        return 42
+
+    def parent(out):
+        value = yield env.process(child(), name="child")
+        out.append(value)
+
+    out = []
+    env.process(parent(out), name="parent")
+    env.run()
+    assert out == [42]
+
+
+def test_tracer_preserves_exceptions():
+    env = Environment()
+    Tracer(env)
+
+    def bad():
+        yield env.timeout(1)
+        raise ValueError("boom")
+
+    env.process(bad(), name="bad")
+    with pytest.raises(ValueError, match="boom"):
+        env.run()
+
+
+def test_tracer_preserves_interrupts():
+    from repro.sim import Interrupt
+    env = Environment()
+    Tracer(env)
+    log = []
+
+    def sleeper():
+        try:
+            yield env.timeout(100)
+        except Interrupt as interrupt:
+            log.append(interrupt.cause)
+
+    def interrupter(proc):
+        yield env.timeout(5)
+        proc.interrupt("wake")
+
+    proc = env.process(sleeper(), name="sleeper")
+    env.process(interrupter(proc), name="interrupter")
+    env.run()
+    assert log == ["wake"]
+
+
+def test_tracer_bounded_memory():
+    env = Environment()
+    tracer = Tracer(env, max_records=5)
+
+    def chatty():
+        for _ in range(20):
+            yield env.timeout(1)
+
+    env.process(chatty(), name="chatty")
+    env.run()
+    assert len(tracer.records) == 5
+    assert tracer.dropped > 0
+
+
+def test_tracer_between_window():
+    env = Environment()
+    tracer = Tracer(env)
+
+    def worker():
+        for _ in range(10):
+            yield env.timeout(10)
+
+    env.process(worker(), name="w")
+    env.run()
+    window = tracer.between(20, 50)
+    assert all(20 <= r.time < 50 for r in window)
+    assert len(window) == 3
+
+
+def test_tracer_summary_and_detach():
+    env = Environment()
+    tracer = Tracer(env)
+
+    def worker():
+        yield env.timeout(1)
+
+    env.process(worker(), name="w1")
+    tracer.detach()
+    env.process(worker(), name="w2")
+    env.run()
+    assert tracer.count("w1") > 0
+    assert tracer.count("w2") == 0
+    assert "resumptions" in tracer.summary()
+
+
+def test_tracer_validation():
+    with pytest.raises(ValueError):
+        Tracer(Environment(), max_records=0)
