@@ -1,0 +1,26 @@
+"""Extension bench: goodput through a worker-node crash + restart.
+
+Regenerates the ext_fault_recovery experiment: the Online Boutique
+with two-replica leaf services loses worker1 mid-run.  With recovery
+(route withdrawal + replica failover + QP eviction + reconnect) the
+surviving replicas restore >= 90% of pre-fault goodput during the
+outage; the no-recovery baseline keeps routing into the dead node.
+"""
+
+from repro.experiments import run_ext_fault_recovery
+
+
+def test_bench_ext_fault_recovery(once):
+    result = once(run_ext_fault_recovery, clients=10,
+                  down_us=80_000.0, post_us=60_000.0)
+    print()
+    print(result)
+    rows = {row[0]: row for row in result.rows}
+    restored = {config: row[4] for config, row in rows.items()}
+    # Recovery restores the pre-fault goodput during the outage ...
+    assert restored["palladium-dne"] >= 90.0
+    assert restored["palladium-cne"] >= 90.0
+    # ... while the no-recovery baseline collapses.
+    assert restored["palladium-dne-no-recovery"] < 50.0
+    # Clients survive the outage via redial in every configuration.
+    assert all(row[6] > 0 for row in rows.values() if "no-recovery" in row[0])

@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from ..dne.engine import NetworkEngine
+from ..dne.routing import RouteError
 from ..memory import BufferDescriptor, MemoryPool, PoolExhausted, RemoteMap
 from ..rdma import Completion, Opcode, WorkRequest
 from ..sim import Store
@@ -71,10 +72,10 @@ class FuyaoEngine(NetworkEngine):
         self.rdma_pools[tenant] = rdma_pool
         self.rnic.register_pool(rdma_pool)
 
-    def _core_thread(self, warm_peers):
+    def _core_thread(self, epoch):
         """Acquire slot credits from each peer's RDMA pool (ring setup)."""
         yield self.env.timeout(self.cost.rc_setup_us)  # connection setup
-        for remote_node, tenant in warm_peers:
+        for remote_node, tenant in self._warm_peers:
             yield from self.conn_mgr.warm_up(remote_node, tenant, 1)
             peer = self.peers.get(remote_node)
             if peer is None or tenant not in peer.rdma_pools:
@@ -94,7 +95,16 @@ class FuyaoEngine(NetworkEngine):
         buffer = descriptor.buffer
         buffer.check_owner(self.agent)
         dst_fn = descriptor.meta["dst"]
-        dst_node = self.routes.node_for(dst_fn)
+        try:
+            dst_node = self.routes.node_for(dst_fn)
+        except RouteError:
+            # Destination withdrawn (failover/scale-down): drop safely.
+            self.stats.dropped += 1
+            ack = descriptor.meta.get("_ack")
+            if ack is not None and not ack.triggered:
+                ack.succeed(False)
+            self._recycle(buffer, tenant)
+            return
         peer = self.peers.get(dst_node)
         yield from self._run(self._ingest_cost_us() + cost.fuyao_tx_us)
         credits = self._credits.get((dst_node, tenant))

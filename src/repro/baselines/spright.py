@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Dict
 
 from ..dne.engine import NetworkEngine
+from ..dne.routing import RouteError
 from ..memory import BufferDescriptor, PoolExhausted
 from ..rdma import Completion
 
@@ -45,7 +46,7 @@ class SprightEngine(NetworkEngine):
     def _egress_cost_us(self) -> float:
         return self.cost.sk_msg_us
 
-    def _core_thread(self, warm_peers):
+    def _core_thread(self, epoch):
         """No RC connections or receive buffers to manage; idle."""
         return
         yield  # pragma: no cover - makes this a generator
@@ -56,7 +57,16 @@ class SprightEngine(NetworkEngine):
         buffer = descriptor.buffer
         buffer.check_owner(self.agent)
         dst_fn = descriptor.meta["dst"]
-        dst_node = self.routes.node_for(dst_fn)
+        ack = descriptor.meta.get("_ack")
+        try:
+            dst_node = self.routes.node_for(dst_fn)
+        except RouteError:
+            # Destination withdrawn (failover/scale-down): drop safely.
+            self.stats.dropped += 1
+            if ack is not None and not ack.triggered:
+                ack.succeed(False)
+            self._recycle(buffer, tenant)
+            return
         peer = self.peers.get(dst_node)
         if peer is None:
             raise RuntimeError(f"{self.name}: no peer engine on {dst_node}")
@@ -76,6 +86,8 @@ class SprightEngine(NetworkEngine):
         # Source buffer is free as soon as it is serialized to the socket.
         buffer.pool.put(buffer, self.agent)
         self.stats.recycled += 1
+        if ack is not None and not ack.triggered:
+            ack.succeed(True)  # handed to the kernel: fire-and-forget
         link = self.fabric.link(self.node.name, dst_node)
         self.stats.tx_messages += 1
         self.stats.tx_bytes += descriptor.length
@@ -83,6 +95,11 @@ class SprightEngine(NetworkEngine):
 
         def _transit():
             yield from link.transmit(descriptor.length + TCP_FRAME_OVERHEAD)
+            if not peer.available:
+                # Peer engine is down: the kernel connection resets and
+                # the message is lost (SPRIGHT has no failover).
+                self.stats.dropped += 1
+                return
             # Receive-side kernel TCP + softirq processing happens in
             # interrupt context on the peer's shared cores, before the
             # engine's event loop ever sees the message.

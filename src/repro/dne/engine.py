@@ -61,6 +61,8 @@ class EngineStats:
         self.recycled = 0
         #: messages dropped (no route / destination vanished)
         self.dropped = 0
+        #: SEND completions that came back failed (flushed QPs)
+        self.tx_errors = 0
         self.tx_bytes = 0
         self.rx_bytes = 0
         #: per-tenant transmit completions (Fig. 15 time series)
@@ -133,6 +135,15 @@ class NetworkEngine:
         self._rx_inbox: Store = Store(env, name=f"{self.name}-rx")
         self._wakeup: Optional[Event] = None
         self._running = False
+        #: False while the engine is down (crash); the iolib falls back
+        #: to the kernel-TCP path when a runtime has one configured.
+        self.available = True
+        #: generation counter: loops from before a crash observe a
+        #: stale epoch and exit instead of double-running after restart.
+        self._epoch = 0
+        self._warm_peers: List[Tuple[str, str]] = []
+        self.crashes = 0
+        self.restarts = 0
         self.core: Optional[PinnedCore] = None
         #: host-core-equivalent us of engine work executed (CPU
         #: accounting for Fig. 16 (4)-(6))
@@ -185,16 +196,56 @@ class NetworkEngine:
         """
         if self._running:
             raise RuntimeError(f"{self.name} already started")
-        self._running = True
+        self._warm_peers = list(warm_peers or [])
         self.core = self._allocate_core()
-        self.env.process(self._core_thread(warm_peers or []), name=f"{self.name}-core")
-        self.env.process(self._cq_poller(), name=f"{self.name}-cq")
-        self.env.process(self._channel_poller(), name=f"{self.name}-chan")
-        self.env.process(self._worker_loop(), name=f"{self.name}-loop")
+        self._spawn()
+
+    def _spawn(self) -> None:
+        """Launch the engine's four threads for the current epoch."""
+        self._running = True
+        epoch = self._epoch
+        self.env.process(self._core_thread(epoch), name=f"{self.name}-core")
+        self.env.process(self._cq_poller(epoch), name=f"{self.name}-cq")
+        self.env.process(self._channel_poller(epoch), name=f"{self.name}-chan")
+        self.env.process(self._worker_loop(epoch), name=f"{self.name}-loop")
 
     def stop(self) -> None:
         self._running = False
+        self._epoch += 1
         self._notify()
+
+    def crash(self) -> None:
+        """Fault injection: the engine process dies abruptly.
+
+        All engine-held RDMA state (the pooled RC connections) dies
+        with it — both QP ends flush to the ERROR state, so peers
+        observe failed CQEs.  In-queue descriptors stay queued and are
+        processed after :meth:`restart` (the channel outlives the
+        engine process, like a unix socket outlives a daemon).
+        """
+        if not self._running:
+            return
+        self._running = False
+        self.available = False
+        self._epoch += 1
+        self.crashes += 1
+        self._notify()
+        self.conn_mgr.fail_all(cause=f"{self.name} crashed")
+
+    def restart(self, warm_peers: Optional[List[Tuple[str, str]]] = None) -> None:
+        """Bring a crashed (or stopped) engine back up.
+
+        The core thread re-runs connection warm-up, replacing the QPs
+        torn down by the crash (errored QPs were evicted from the
+        pools).
+        """
+        if self._running:
+            raise RuntimeError(f"{self.name} already running")
+        if warm_peers is not None:
+            self._warm_peers = list(warm_peers)
+        self.available = True
+        self.restarts += 1
+        self._spawn()
 
     def _run(self, host_us: float):
         """Generator: engine work on its core, with busy accounting."""
@@ -223,33 +274,43 @@ class NetworkEngine:
             self._wakeup.succeed()
 
     # -- background pollers ------------------------------------------------------------
-    def _cq_poller(self):
+    def _cq_poller(self, epoch: int):
         """Moves CQEs into the worker loop's event queue."""
-        while self._running:
+        while self._running and self._epoch == epoch:
             completion = yield self.rnic.cq.get()
+            if self._epoch != epoch:
+                # Stale poller from before a crash: requeue for the
+                # restarted engine's poller and exit.
+                self.rnic.cq.put_nowait(completion)
+                return
             self._rx_inbox.put_nowait(("cqe", completion))
             self._notify()
 
-    def _channel_poller(self):
+    def _channel_poller(self, epoch: int):
         """Moves function TX descriptors into the tenant scheduler."""
-        while self._running:
+        while self._running and self._epoch == epoch:
             fn_id, descriptor = yield self.channel.server_inbox.get()
+            if self._epoch != epoch:
+                self.channel.server_inbox.put_nowait((fn_id, descriptor))
+                return
             tenant = descriptor.meta.get("tenant", "default")
             self.scheduler.enqueue(
                 tenant, (fn_id, descriptor), nbytes=max(1, descriptor.length)
             )
             self._notify()
 
-    def _core_thread(self, warm_peers: List[Tuple[str, str]]):
+    def _core_thread(self, epoch: int):
         """Control plane: warm connections, replenish RQs, demote QPs."""
         # Receive buffers first: arrivals must never find an empty RQ.
         for tenant, state in self._tenants.items():
             self._post_recv_buffers(tenant, state.recv_buffers)
         # RC connection warm-up (off the critical path, in parallel).
-        for remote_node, tenant in warm_peers:
+        for remote_node, tenant in self._warm_peers:
             yield from self.conn_mgr.warm_up(remote_node, tenant)
-        while self._running:
+        while self._running and self._epoch == epoch:
             yield self.env.timeout(self.replenish_period_us)
+            if self._epoch != epoch:
+                return
             for tenant, state in self._tenants.items():
                 srq = self.rnic.srq(tenant)
                 consumed = srq.consumed_since_replenish
@@ -285,9 +346,9 @@ class NetworkEngine:
             buffer.pool.put(buffer, buffer.owner)
 
     # -- the run-to-completion worker loop ------------------------------------------------
-    def _worker_loop(self):
+    def _worker_loop(self, epoch: int):
         """One event fully processed per iteration; RX before TX."""
-        while self._running:
+        while self._running and self._epoch == epoch:
             event = self._rx_inbox.try_get()
             if event is not None:
                 yield from self._handle_event(event)
@@ -297,9 +358,12 @@ class NetworkEngine:
                 tenant, (fn_id, descriptor) = picked
                 yield from self._handle_tx(tenant, fn_id, descriptor)
                 continue
-            self._wakeup = self.env.event()
-            yield self._wakeup
-            self._wakeup = None
+            wakeup = self.env.event()
+            self._wakeup = wakeup
+            yield wakeup
+            if self._wakeup is wakeup:  # a stale loop must not clobber
+                self._wakeup = None     # the restarted loop's event
+
 
     # -- TX stage (Fig. 7) --------------------------------------------------------
     def _handle_tx(self, tenant: str, src_fn: str, descriptor: BufferDescriptor):
@@ -314,9 +378,13 @@ class NetworkEngine:
         try:
             dst_node = self.routes.node_for(dst_fn)
         except RouteError:
-            # Scale-down race: the destination was withdrawn after the
-            # function posted.  Drop, recycle — never crash the loop.
+            # Scale-down race / failover: the destination was withdrawn
+            # after the function posted.  Drop, recycle, nack any
+            # reliability-tracked sender — never crash the loop.
             self.stats.dropped += 1
+            ack = descriptor.meta.get("_ack")
+            if ack is not None and not ack.triggered:
+                ack.succeed(False)
             self._recycle(buffer, tenant)
             return
         qp = yield from self.conn_mgr.get_connection(dst_node, tenant)
@@ -362,6 +430,14 @@ class NetworkEngine:
         elif completion.opcode == Opcode.SEND:
             # Send completed: tiny poll cost, recycle the source buffer.
             yield from self._run(cost.mempool_op_us)
+            if not completion.ok:
+                self.stats.tx_errors += 1
+            # Reliability hook: senders running with a retry budget
+            # smuggle an ack event through the WR meta; succeed it with
+            # the completion status (False for flushed CQEs).
+            ack = completion.meta.get("_ack")
+            if ack is not None and not ack.triggered:
+                ack.succeed(completion.ok)
             buffer = completion.buffer
             if buffer is not None:
                 self._recycle(buffer, completion.tenant)

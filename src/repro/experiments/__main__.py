@@ -18,6 +18,7 @@ import sys
 import time
 
 from . import (
+    run_ext_fault_recovery,
     run_fig09,
     run_fig11,
     run_fig12,
@@ -90,6 +91,12 @@ EXPERIMENTS = {
     "multi-ingress": (
         lambda: run_multi_ingress(duration_us=250_000),
         lambda: run_multi_ingress(duration_us=150_000),
+    ),
+    "fault-recovery": (
+        run_ext_fault_recovery,
+        lambda: run_ext_fault_recovery(
+            configs=("palladium-dne", "palladium-dne-no-recovery"),
+            clients=8, down_us=80_000.0, post_us=60_000.0),
     ),
 }
 

@@ -44,10 +44,56 @@ class Link:
         self._tx = Resource(env, capacity=1, name=f"{name}-tx")
         self.frames = 0
         self.bytes_sent = 0
+        #: fault state: a downed link stalls frames until recovery (the
+        #: flap model); ``degrade_factor`` > 1 stretches serialization
+        #: (bandwidth degradation).  Both default to the no-fault fast
+        #: path — a single attribute check per frame.
+        self.up = True
+        self.degrade_factor = 1.0
+        self.flaps = 0
+        self.downtime_us = 0.0
+        self._down_since = 0.0
+        self._resume_event = None
+
+    # -- fault injection -------------------------------------------------------
+    def fail(self) -> None:
+        """Take the link down; in-flight frames finish, new ones stall."""
+        if self.up:
+            self.up = False
+            self.flaps += 1
+            self._down_since = self.env.now
+
+    def recover(self) -> None:
+        """Bring the link back up and release stalled frames."""
+        if not self.up:
+            self.up = True
+            self.downtime_us += self.env.now - self._down_since
+            event, self._resume_event = self._resume_event, None
+            if event is not None and not event.triggered:
+                event.succeed()
+
+    def degrade(self, factor: float) -> None:
+        """Stretch serialization time by ``factor`` (>= 1)."""
+        if factor < 1.0:
+            raise ValueError(f"degrade factor must be >= 1, got {factor}")
+        self.degrade_factor = factor
+
+    def restore(self) -> None:
+        """Clear any bandwidth degradation."""
+        self.degrade_factor = 1.0
+
+    def _wait_up(self):
+        """Generator: block until the link is up again."""
+        while not self.up:
+            if self._resume_event is None or self._resume_event.triggered:
+                self._resume_event = self.env.event()
+            yield self._resume_event
 
     def transmit(self, nbytes: int):
         """Generator: move one frame of ``nbytes`` across the link."""
-        serialization = nbytes / self.bytes_per_us
+        if not self.up:
+            yield from self._wait_up()
+        serialization = nbytes * self.degrade_factor / self.bytes_per_us
         req = self._tx.request()
         yield req
         try:

@@ -29,31 +29,66 @@ class IngressLoadBalancer:
     gateway, so load generators can drive it unchanged.
     """
 
-    def __init__(self, instances: List[PalladiumIngress]):
+    def __init__(self, instances: List[PalladiumIngress],
+                 health_check_period_us: float = 0.0):
         if not instances:
             raise ValueError("balancer needs at least one ingress instance")
         self.instances = instances
         self._owner: dict = {}
-        env = instances[0].env
+        self.env = instances[0].env
         self.latency = LatencyStats("lb-e2e")
         self.throughput = RateMeter("lb-rps")
+        #: with a positive period, a health-check loop ejects unhealthy
+        #: instances and moves their connections to survivors (0 = off)
+        self.health_check_period_us = health_check_period_us
+        self.failovers = 0
+        self.dropped = 0
 
     def start(self) -> None:
         for instance in self.instances:
             instance.siblings = list(self.instances)
             instance.start()
+        if self.health_check_period_us > 0:
+            self.env.process(self._health_loop(), name="lb-health")
+
+    def _live(self) -> List[PalladiumIngress]:
+        return [i for i in self.instances if i.healthy]
+
+    def _health_loop(self):
+        """Periodically eject dead backends, reassigning their
+        connections over the survivors (stable hashing)."""
+        while True:
+            yield self.env.timeout(self.health_check_period_us)
+            live = self._live()
+            if len(live) == len(self.instances) or not live:
+                continue
+            for conn_id, owner in list(self._owner.items()):
+                if not owner.healthy:
+                    self._owner[conn_id] = live[rss_queue(conn_id, len(live))]
+                    self.failovers += 1
 
     def connect(self) -> ClientConnection:
         """Pin a new connection to an instance (stable L4 hashing)."""
-        conn_probe = ClientConnection(self.instances[0].env)
-        instance = self.instances[rss_queue(conn_probe.conn_id, len(self.instances))]
+        pool = self._live() or self.instances
+        conn_probe = ClientConnection(self.env)
+        instance = pool[rss_queue(conn_probe.conn_id, len(pool))]
         # Re-register the connection with its owning instance.
         conn = instance.connect()
         self._owner[conn.conn_id] = instance
         return conn
 
     def submit(self, conn: ClientConnection, request: HttpRequest) -> None:
-        self._owner[conn.conn_id].submit(conn, request)
+        owner = self._owner[conn.conn_id]
+        if not owner.healthy:
+            # Between health checks: fail over on first touch.
+            live = self._live()
+            if not live:
+                self.dropped += 1
+                return
+            owner = live[rss_queue(conn.conn_id, len(live))]
+            self._owner[conn.conn_id] = owner
+            self.failovers += 1
+        owner.submit(conn, request)
 
     # -- aggregate metrics ----------------------------------------------------
     def completed(self) -> int:

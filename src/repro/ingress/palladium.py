@@ -22,7 +22,7 @@ import itertools
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..config import CostModel
-from ..dne.routing import InterNodeRoutes
+from ..dne.routing import InterNodeRoutes, RouteError
 from ..hw import Cluster
 from ..memory import MemoryPool, PoolExhausted
 from ..net import FStack, HttpProcessor, HttpRequest, HttpResponse
@@ -89,6 +89,16 @@ class PalladiumIngress:
         #: instance deployments behind a load balancer); completions are
         #: routed to whichever instance owns the request id.
         self.siblings: List["PalladiumIngress"] = [self]
+        #: health flag polled by the load balancer's check loop
+        self.healthy = True
+
+    # -- fault injection --------------------------------------------------------
+    def fail(self) -> None:
+        """Fault injection: this gateway instance stops serving."""
+        self.healthy = False
+
+    def recover(self) -> None:
+        self.healthy = True
 
     # -- setup ----------------------------------------------------------------
     def add_tenant(self, tenant: str, buffers: int = 256, buffer_bytes: int = 8192) -> None:
@@ -193,7 +203,15 @@ class PalladiumIngress:
         buffer.write(self.AGENT, request.body, request.body_bytes)
         rid = next(_rids)
         self._pending[rid] = (conn, worker, request, self.env.now)
-        dst_node = self.routes.node_for(entry_fn)
+        try:
+            dst_node = self.routes.node_for(entry_fn)
+        except RouteError:
+            # Entry function unroutable (node failure without a
+            # surviving replica): drop; the client's timeout fires.
+            self._pending.pop(rid, None)
+            pool.put(buffer, self.AGENT)
+            self.stats.dropped += 1
+            return
         qp = yield from self.conn_mgr.get_connection(dst_node, tenant)
         wr = WorkRequest(
             opcode=Opcode.SEND,
@@ -261,6 +279,15 @@ class PalladiumIngress:
                 worker.inbox.put(("response", completion))
             elif completion.opcode == Opcode.SEND and completion.buffer is not None:
                 completion.buffer.pool.put(completion.buffer, self.AGENT)
+                if not completion.ok:
+                    # Flushed send (peer died): the request is lost —
+                    # drop its pending entry so state does not leak.
+                    rid = completion.meta.get("rid")
+                    for gw in self.siblings:
+                        if rid in gw._pending:
+                            gw._pending.pop(rid, None)
+                            gw.stats.dropped += 1
+                            break
 
     def _replenisher(self):
         """Keep per-tenant shared RQs stocked (the DNE core-thread analog)."""

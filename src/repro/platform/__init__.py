@@ -5,7 +5,13 @@ from .autoscaling import FunctionAutoscaler
 from .elasticity import ElasticPlatform, ServiceGroup
 from .coordinator import Coordinator
 from .function import FunctionContext, FunctionInstance, FunctionSpec, Message
-from .iolib import IoLibrary, NodeRuntime
+from .iolib import (
+    InvokeTimeout,
+    IoLibrary,
+    KernelTcpFallback,
+    NodeRuntime,
+    SendError,
+)
 from .tenant import ChainSpec, Tenant
 
 __all__ = [
@@ -16,9 +22,12 @@ __all__ = [
     "FunctionContext",
     "FunctionInstance",
     "FunctionSpec",
+    "InvokeTimeout",
     "IoLibrary",
+    "KernelTcpFallback",
     "Message",
     "NodeRuntime",
+    "SendError",
     "ServerlessPlatform",
     "ServiceGroup",
     "Tenant",

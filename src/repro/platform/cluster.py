@@ -34,7 +34,7 @@ from ..sim import Environment, Store
 
 from .coordinator import Coordinator
 from .function import FunctionInstance, FunctionSpec
-from .iolib import IoLibrary, NodeRuntime
+from .iolib import IoLibrary, KernelTcpFallback, NodeRuntime
 from .tenant import Tenant
 
 __all__ = ["ServerlessPlatform", "build_palladium_dne"]
@@ -92,6 +92,15 @@ class ServerlessPlatform:
                 self.coordinator.subscribe(engine.routes)
         for name, engine in self.engines.items():
             engine.peers = dict(self.engines)
+        #: kernel-TCP escape hatch shared by all worker runtimes, used
+        #: while a node's engine is down (graceful degradation)
+        self.tcp_fallback = KernelTcpFallback(
+            env, self.cost, self.cluster, self.runtimes
+        )
+        for runtime in self.runtimes.values():
+            runtime.fallback = self.tcp_fallback
+            if runtime.engine is not None:
+                runtime.engine.conn_mgr.peer_alive = self._peer_alive
 
         self._registries: Dict[str, TenantMemoryRegistry] = {
             node: TenantMemoryRegistry(env) for node in self.runtimes
@@ -182,6 +191,67 @@ class ServerlessPlatform:
             engine.start(warm_peers=warm)
         for instance in self.functions.values():
             instance.start()
+
+    # -- failure injection & recovery ------------------------------------------------
+    def _peer_alive(self, node_name: str) -> bool:
+        """Liveness oracle for RC handshakes (unknown peers: assume up)."""
+        runtime = self.runtimes.get(node_name)
+        return True if runtime is None else runtime.alive
+
+    def crash_node(self, node_name: str, recovery: bool = True) -> None:
+        """Fail-stop crash of a worker node.
+
+        The physical consequences always happen: the RNIC dies (RNR
+        stalls flush), the engine dies (QPs error at both ends), and
+        every function instance placed there stops.  With ``recovery``
+        (the default) the control plane also reacts: the coordinator
+        withdraws routes to the node and surviving engines evict their
+        torn QPs and start background reconnects.  ``recovery=False``
+        models the no-failure-handling baseline.
+        """
+        runtime = self.runtimes[node_name]
+        if not runtime.alive:
+            return
+        runtime.alive = False
+        engine = runtime.engine
+        if engine is not None:
+            engine.rnic.fail()
+            engine.crash()
+        for fn_id in self.coordinator.functions_on(node_name):
+            instance = self.functions.get(fn_id)
+            if instance is not None:
+                instance.crash()
+        for other_name, other in self.engines.items():
+            if other_name != node_name:
+                other.conn_mgr.fail_peer(
+                    node_name, cause=f"node {node_name} crashed"
+                )
+        if recovery:
+            self.coordinator.node_failed(node_name)
+            for other_name, other in self.engines.items():
+                if other_name == node_name:
+                    continue
+                other.conn_mgr.evict_errored()
+                for tenant in self.tenants:
+                    other.conn_mgr.schedule_reconnect(node_name, tenant)
+
+    def restart_node(self, node_name: str, recovery: bool = True) -> None:
+        """Bring a crashed worker node back up."""
+        runtime = self.runtimes[node_name]
+        if runtime.alive:
+            return
+        runtime.alive = True
+        engine = runtime.engine
+        if engine is not None:
+            engine.rnic.recover()
+            engine.conn_mgr.evict_errored()
+            engine.restart()
+        for fn_id in self.coordinator.functions_on(node_name):
+            instance = self.functions.get(fn_id)
+            if instance is not None:
+                instance.recover()
+        if recovery:
+            self.coordinator.node_recovered(node_name)
 
     # -- measurement helpers ----------------------------------------------------------
     def usage_snapshot(self) -> Dict[str, float]:

@@ -25,6 +25,8 @@ class Coordinator:
         self.placement: Dict[str, str] = {}
         #: deployment event log (for tests/inspection)
         self.events: List[tuple] = []
+        #: nodes currently marked failed (routes withdrawn, placement kept)
+        self.failed_nodes: set = set()
 
     def subscribe(self, routes: InterNodeRoutes) -> None:
         """Register a route table; it immediately receives known routes."""
@@ -51,3 +53,38 @@ class Coordinator:
             return self.placement[fn_id]
         except KeyError:
             raise KeyError(f"function {fn_id!r} is not deployed") from None
+
+    # -- failure handling ---------------------------------------------------
+    def functions_on(self, node: str) -> List[str]:
+        """Functions whose authoritative placement is ``node``."""
+        return [fn for fn, n in self.placement.items() if n == node]
+
+    def node_failed(self, node: str) -> List[str]:
+        """Route invalidation for a dead node (§3.5.5 health machinery).
+
+        Withdraws every route pointing at the node cluster-wide, so
+        engines observe the loss as a ``RouteError`` (drop) instead of
+        posting into a black hole.  Placement is retained — the
+        functions come back with the node.
+        """
+        if node in self.failed_nodes:
+            return []
+        self.failed_nodes.add(node)
+        downed = self.functions_on(node)
+        for fn_id in downed:
+            for routes in self._subscribers:
+                routes.remove_route(fn_id)
+        self.events.append(("node-failed", node, tuple(downed)))
+        return downed
+
+    def node_recovered(self, node: str) -> List[str]:
+        """Re-publish routes for a node that came back."""
+        if node not in self.failed_nodes:
+            return []
+        self.failed_nodes.discard(node)
+        restored = self.functions_on(node)
+        for fn_id in restored:
+            for routes in self._subscribers:
+                routes.set_route(fn_id, node)
+        self.events.append(("node-recovered", node, tuple(restored)))
+        return restored

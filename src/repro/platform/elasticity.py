@@ -68,6 +68,8 @@ class ElasticPlatform(ServerlessPlatform):
         super().__init__(*args, **kwargs)
         self.services: Dict[str, ServiceGroup] = {}
         self._replica_seq: Dict[str, itertools.count] = {}
+        #: node -> replica ids pulled from rotation by a node failure
+        self._failed_replicas: Dict[str, List[str]] = {}
         # Patch service resolution into every node's send path.
         for runtime in self.runtimes.values():
             runtime.resolve_service = self._resolve  # type: ignore[attr-defined]
@@ -121,6 +123,43 @@ class ElasticPlatform(ServerlessPlatform):
 
     def replica_count(self, service: str) -> int:
         return len(self.services[service])
+
+    # -- failover --------------------------------------------------------------
+    def handle_node_failure(self, node_name: str) -> List[str]:
+        """Remove replicas placed on a dead node from their services.
+
+        Requests resolved afterwards round-robin over the surviving
+        replicas only — the availability half of the failover story.
+        Returns the replica ids taken out of rotation.
+        """
+        removed: List[str] = []
+        for group in self.services.values():
+            for rid in list(group.replicas):
+                if self.coordinator.placement.get(rid) == node_name:
+                    group.remove(rid)
+                    removed.append(rid)
+        self._failed_replicas[node_name] = removed
+        return removed
+
+    def handle_node_recovery(self, node_name: str) -> List[str]:
+        """Put a recovered node's replicas back into rotation."""
+        restored = self._failed_replicas.pop(node_name, [])
+        for rid in restored:
+            service = rid.rsplit("#", 1)[0]
+            group = self.services.get(service)
+            if group is not None and rid not in group.replicas:
+                group.add(rid)
+        return restored
+
+    def crash_node(self, node_name: str, recovery: bool = True) -> None:
+        super().crash_node(node_name, recovery=recovery)
+        if recovery:
+            self.handle_node_failure(node_name)
+
+    def restart_node(self, node_name: str, recovery: bool = True) -> None:
+        super().restart_node(node_name, recovery=recovery)
+        if recovery:
+            self.handle_node_recovery(node_name)
 
     # -- resolution hook (called from IoLibrary.send and gateways) -------------------
     def resolve_service(self, dst: str) -> str:

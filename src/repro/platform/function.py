@@ -22,7 +22,9 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
 from ..memory import BufferDescriptor
-from ..sim import Environment, Event, LatencyStats, Store
+from ..sim import AnyOf, Environment, Event, LatencyStats, Store
+
+from .iolib import InvokeTimeout, SendError
 
 __all__ = ["FunctionSpec", "FunctionInstance", "FunctionContext", "Message"]
 
@@ -101,6 +103,13 @@ class FunctionInstance:
         self.app_time_us = 0.0
         self.latency = LatencyStats(spec.name)
         self._started = False
+        #: fault state: a crashed instance drops deliveries on the
+        #: floor (recycling the buffers) until :meth:`recover`.
+        self.crashed = False
+        self.dropped = 0
+        #: handler executions that failed on a downstream error
+        self.failed = 0
+        self.invoke_timeouts = 0
 
     # -- lifecycle ----------------------------------------------------------
     def start(self) -> None:
@@ -111,10 +120,27 @@ class FunctionInstance:
         for i in range(self.spec.concurrency):
             self.env.process(self._handler_worker(), name=f"{self.spec.name}-w{i}")
 
+    def crash(self) -> None:
+        """Fault injection: the instance's process dies.
+
+        Outstanding invocations are abandoned (their callers' timeouts
+        surface the loss) and arriving messages are dropped until
+        :meth:`recover`.
+        """
+        self.crashed = True
+        self._pending.clear()
+
+    def recover(self) -> None:
+        self.crashed = False
+
     # -- receive path ---------------------------------------------------------
     def _dispatch_loop(self):
         while True:
             descriptor = yield self.inbox.get()
+            if self.crashed:
+                self.dropped += 1
+                self.iolib.recycle(descriptor.buffer, self.agent)
+                continue
             # Wake-up cost depends on how the descriptor arrived.
             yield from self.cpu.execute(self.iolib.recv_cost_us(descriptor))
             meta = descriptor.meta
@@ -131,6 +157,10 @@ class FunctionInstance:
     def _handler_worker(self):
         while True:
             descriptor = yield self._requests.get()
+            if self.crashed:
+                self.dropped += 1
+                self.iolib.recycle(descriptor.buffer, self.agent)
+                continue
             started = self.env.now
             message = Message(
                 payload=descriptor.buffer.read(self.agent),
@@ -140,7 +170,18 @@ class FunctionInstance:
             )
             ctx = FunctionContext(self, message)
             handler = self.spec.handler or _echo_handler
-            yield from handler(ctx, message)
+            try:
+                yield from handler(ctx, message)
+            except (SendError, InvokeTimeout):
+                # Downstream failure: abandon this request; the
+                # caller's own timeout surfaces the loss.  Keep the
+                # worker alive and reclaim the request buffer if the
+                # handler still holds it.
+                self.failed += 1
+                buffer = descriptor.buffer
+                if buffer is not None and buffer.owner == self.agent:
+                    self.iolib.recycle(buffer, self.agent)
+                continue
             self.handled += 1
             self.latency.record(self.env.now - started)
 
@@ -159,7 +200,22 @@ class FunctionInstance:
             "tenant": self.spec.tenant,
         }
         yield from self.iolib.send(self.agent, dst_fn, payload, size, meta)
-        reply_desc = yield event
+        deadline_us = getattr(self.iolib.runtime, "invoke_timeout_us", None)
+        if deadline_us is None:
+            reply_desc = yield event
+        else:
+            deadline = self.env.timeout(deadline_us)
+            yield AnyOf(self.env, [event, deadline])
+            if not event.triggered:
+                # Give up: a late response finds no pending entry and
+                # is recycled by the dispatcher.
+                self._pending.pop(rid, None)
+                self.invoke_timeouts += 1
+                raise InvokeTimeout(
+                    f"{self.spec.name}: invoke of {dst_fn!r} (rid {rid}) "
+                    f"timed out after {deadline_us:.0f}us"
+                )
+            reply_desc = event.value
         reply = Message(
             payload=reply_desc.buffer.read(self.agent),
             size=reply_desc.length,

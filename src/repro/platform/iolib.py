@@ -17,13 +17,25 @@ from typing import Any, Dict, Optional
 
 from ..config import CostModel
 from ..dne.engine import NetworkEngine
-from ..dne.routing import IntraNodeRoutes
+from ..dne.routing import IntraNodeRoutes, RouteError
 from ..hw import Node
-from ..memory import Buffer, BufferDescriptor, MemoryPool
+from ..memory import Buffer, BufferDescriptor, MemoryPool, PoolExhausted
 from ..net import SockMap
-from ..sim import Environment, Store
+from ..sim import AnyOf, Environment, Store
 
-__all__ = ["NodeRuntime", "IoLibrary"]
+__all__ = ["NodeRuntime", "IoLibrary", "KernelTcpFallback", "SendError",
+           "InvokeTimeout"]
+
+#: TCP/IP framing on the kernel-stack fallback hop
+TCP_FRAME_OVERHEAD = 66
+
+
+class SendError(Exception):
+    """A reliable send exhausted its retry budget (tenant-visible)."""
+
+
+class InvokeTimeout(Exception):
+    """An invocation's response did not arrive within the deadline."""
 
 
 class NodeRuntime:
@@ -54,6 +66,14 @@ class NodeRuntime:
         #: override for intra-node descriptor IPC cost (NightCore's
         #: shared-memory queues differ slightly from SK_MSG)
         self.intra_ipc_us = cost.sk_msg_us if intra_ipc_us is None else intra_ipc_us
+        #: False while the node is crashed (fault injection)
+        self.alive = True
+        #: kernel-TCP escape hatch used while the engine is down
+        #: (graceful degradation, wired by the platform)
+        self.fallback: Optional["KernelTcpFallback"] = None
+        #: when set, :meth:`FunctionInstance.invoke` gives up (raises
+        #: :class:`InvokeTimeout`) after this many microseconds
+        self.invoke_timeout_us: Optional[float] = None
 
     def add_pool(self, tenant: str, pool: MemoryPool) -> None:
         self.pools[tenant] = pool
@@ -110,14 +130,51 @@ class IoLibrary:
         self.intra_sends = 0
         self.inter_sends = 0
         self.cross_domain_sends = 0
+        self.fallback_sends = 0
+        self.retransmissions = 0
+        self.send_failures = 0
 
     # -- send path -------------------------------------------------------------
-    def send(self, src_agent: str, dst_fn: str, payload: Any, size: int, meta: Dict):
-        """Generator: allocate a buffer, fill it, and route it to ``dst_fn``."""
+    def send(self, src_agent: str, dst_fn: str, payload: Any, size: int, meta: Dict,
+             timeout_us: Optional[float] = None, max_retries: int = 2):
+        """Generator: allocate a buffer, fill it, and route it to ``dst_fn``.
+
+        With ``timeout_us`` set, the send is *reliable*: an ack event
+        rides the message meta and is succeeded (with the delivery
+        status) by whichever transport carries it; a nack or timeout
+        triggers a retransmission, and after ``max_retries``
+        retransmissions the failure surfaces as :class:`SendError`.
+        The default (``timeout_us=None``) path is untouched
+        fire-and-forget — no extra events, no overhead.
+        """
         pool = self.runtime.pool_for(self.tenant)
-        buffer = yield from pool.get_wait(src_agent)
-        yield from self.send_buffer(src_agent, dst_fn, buffer, payload, size, meta,
-                                    extra_cpu_us=self.cost.mempool_op_us)
+        if timeout_us is None:
+            buffer = yield from pool.get_wait(src_agent)
+            yield from self.send_buffer(src_agent, dst_fn, buffer, payload, size,
+                                        meta, extra_cpu_us=self.cost.mempool_op_us)
+            return
+        attempts = 0
+        while True:
+            buffer = yield from pool.get_wait(src_agent)
+            ack = self.env.event()
+            tracked = dict(meta)
+            tracked["_ack"] = ack
+            yield from self.send_buffer(src_agent, dst_fn, buffer, payload, size,
+                                        tracked,
+                                        extra_cpu_us=self.cost.mempool_op_us)
+            deadline = self.env.timeout(timeout_us)
+            yield AnyOf(self.env, [ack, deadline])
+            if ack.triggered and ack.value:
+                return
+            attempts += 1
+            if attempts > max_retries:
+                self.send_failures += 1
+                cause = "nacked" if ack.triggered else "timed out"
+                raise SendError(
+                    f"{self.fn_id}: send to {dst_fn!r} {cause} after "
+                    f"{attempts} attempts"
+                )
+            self.retransmissions += 1
 
     def send_buffer(
         self,
@@ -156,6 +213,7 @@ class IoLibrary:
             )
             self.runtime.sockmap.redirect(dst_fn, descriptor)
             self.intra_sends += 1
+            self._ack(meta, True)
         else:
             engine = self.runtime.engine
             if engine is None:
@@ -163,6 +221,14 @@ class IoLibrary:
                     f"{self.fn_id}: destination {dst_fn!r} is remote but node "
                     f"{self.runtime.node.name} has no network engine"
                 )
+            if not engine.available and self.runtime.fallback is not None:
+                # Graceful degradation (engine crashed): ship over the
+                # kernel TCP stack while the engine restarts.
+                yield from self.runtime.fallback.send(
+                    self, src_agent, dst_fn, buffer, size, meta
+                )
+                self.fallback_sends += 1
+                return
             meta["_via"] = self.VIA_ENGINE
             descriptor = BufferDescriptor(buffer=buffer, length=size, meta=meta)
             buffer.transfer(src_agent, engine.agent)
@@ -172,6 +238,13 @@ class IoLibrary:
             )
             engine.channel.post_from_function(self.fn_id, descriptor)
             self.inter_sends += 1
+
+    @staticmethod
+    def _ack(meta: Dict, ok: bool) -> None:
+        """Succeed a reliability ack riding the message meta, if any."""
+        ack = meta.get("_ack")
+        if ack is not None and not ack.triggered:
+            ack.succeed(ok)
 
     def _send_cross_domain(self, src_agent: str, dst_fn: str, buffer: Buffer,
                            payload, size: int, meta: Dict,
@@ -206,6 +279,7 @@ class IoLibrary:
         # ever crossed the domain boundary.
         buffer.pool.put(buffer, src_agent)
         self.cross_domain_sends += 1
+        self._ack(meta, True)
 
     # -- receive path ------------------------------------------------------------
     def recv_cost_us(self, descriptor: BufferDescriptor) -> float:
@@ -213,9 +287,86 @@ class IoLibrary:
         via = descriptor.meta.get("_via", self.VIA_SKMSG)
         if via == self.VIA_ENGINE and self.runtime.engine is not None:
             return self.runtime.engine.channel.function_recv_cost_us()
+        if via == KernelTcpFallback.VIA_TCP:
+            # Socket wakeup through the kernel stack.
+            return self.cost.kernel_tcp_us + self.runtime.intra_ipc_us
         return self.runtime.intra_ipc_us
 
     def recycle(self, buffer: Buffer, agent: str) -> None:
         """Return a consumed buffer to its home pool."""
         if buffer.pool is not None:
             buffer.pool.put(buffer, agent)
+
+
+class KernelTcpFallback:
+    """Kernel TCP/IP escape hatch used while a node's engine is down.
+
+    When the DNE crashes, in-flight work drains to failed CQEs and new
+    inter-node sends cannot use the descriptor channel.  Rather than
+    stall tenants until the engine restarts, the iolib degrades to the
+    kernel protocol stack (the path SPRIGHT always uses): a real copy
+    out of the pool, TCP processing on both ends, and a copy back into
+    the destination tenant's pool.  Slow, but available.
+    """
+
+    VIA_TCP = "tcp"
+
+    def __init__(self, env: Environment, cost: CostModel, cluster,
+                 runtimes: Dict[str, "NodeRuntime"]):
+        self.env = env
+        self.cost = cost
+        self.cluster = cluster
+        self.runtimes = runtimes
+        self.agent = "tcp-fallback"
+        self.sends = 0
+        self.delivered = 0
+        self.dropped = 0
+
+    def send(self, iolib: "IoLibrary", src_agent: str, dst_fn: str,
+             buffer: Buffer, size: int, meta: Dict):
+        """Generator: carry one message over the kernel stack."""
+        runtime = iolib.runtime
+        cost = self.cost
+        # Route lookup reuses the engine's table: the control plane
+        # (coordinator-pushed routes) survives the data-path crash.
+        try:
+            dst_node = runtime.engine.routes.node_for(dst_fn)
+        except RouteError:
+            self.dropped += 1
+            buffer.pool.put(buffer, src_agent)
+            IoLibrary._ack(meta, False)
+            return
+        # Sender: copy out of the shared pool + protocol processing.
+        yield from runtime.node.cpu.execute(
+            cost.kernel_tcp_us + cost.copy_time(size)
+        )
+        payload = buffer.payload
+        buffer.pool.put(buffer, src_agent)
+        self.sends += 1
+        link = self.cluster.fabric_link(runtime.node.name, dst_node)
+        yield from link.transmit(size + TCP_FRAME_OVERHEAD)
+        dst_runtime = self.runtimes.get(dst_node)
+        if (dst_runtime is None or not dst_runtime.alive
+                or not dst_runtime.intra_routes.is_local(dst_fn)):
+            # Connection reset: destination node or endpoint is gone.
+            self.dropped += 1
+            IoLibrary._ack(meta, False)
+            return
+        try:
+            dst_buffer = dst_runtime.pool_for(iolib.tenant).get(self.agent)
+        except (KeyError, PoolExhausted):
+            self.dropped += 1
+            IoLibrary._ack(meta, False)
+            return
+        # Receiver: kernel + softirq processing, copy into the pool.
+        yield from dst_runtime.node.cpu.execute(
+            cost.kernel_tcp_us + cost.kernel_irq_us + cost.copy_time(size)
+        )
+        dst_buffer.write(self.agent, payload, size)
+        meta = dict(meta)
+        meta["_via"] = self.VIA_TCP
+        descriptor = BufferDescriptor(buffer=dst_buffer, length=size, meta=meta)
+        dst_buffer.transfer(self.agent, f"fn:{dst_fn}")
+        dst_runtime.sockmap.redirect(dst_fn, descriptor)
+        self.delivered += 1
+        IoLibrary._ack(meta, True)

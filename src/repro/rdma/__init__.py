@@ -4,7 +4,7 @@ from .connection import ConnectionManager
 from .fabric import RdmaFabric
 from .locks import DistributedLock, LockStats, Rendezvous
 from .mr import MemoryRegion, MemoryRegionTable, RegistrationError
-from .qp import QPState, QueuePair, ReceiveBufferRegistry, SharedReceiveQueue
+from .qp import QPState, QpError, QueuePair, ReceiveBufferRegistry, SharedReceiveQueue
 from .rnic import AtomicWord, Rnic
 from .verbs import Completion, Opcode, RDMA_HEADER_BYTES, WorkRequest
 
@@ -18,6 +18,7 @@ __all__ = [
     "MemoryRegionTable",
     "Opcode",
     "QPState",
+    "QpError",
     "QueuePair",
     "RDMA_HEADER_BYTES",
     "RdmaFabric",

@@ -6,11 +6,17 @@ and only *activates* them when they carry work.  Inactive (shadow) QPs
 consume no RNIC resources; the node-wide count of active QPs is what
 the RNIC's thrash model watches.  Activation needs no cross-node state
 synchronization (RoGUE's scheme), only a small local cost.
+
+Failure handling: a QP that errors out (peer crash, injected QP error)
+is *terminal* — it is evicted from the pool on the next touch and never
+handed to a caller again.  Re-establishment happens off the critical
+path via :meth:`schedule_reconnect`, which retries with capped
+exponential backoff under an optional per-tenant retry budget.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..config import CostModel
 from ..sim import Environment
@@ -32,6 +38,9 @@ class ConnectionManager:
         cost: CostModel,
         conns_per_peer: int = 4,
         tenant_active_quota: Optional[int] = None,
+        reconnect_base_us: float = 1_000.0,
+        reconnect_cap_us: float = 64_000.0,
+        tenant_retry_budget: Optional[int] = None,
     ):
         self.env = env
         self.fabric = fabric
@@ -44,20 +53,55 @@ class ConnectionManager:
         #: past the quota, the tenant multiplexes its existing active
         #: QPs instead of activating more.
         self.tenant_active_quota = tenant_active_quota
+        #: liveness oracle for handshake targets; the platform wires
+        #: this to the remote node runtime's ``alive`` flag.  A
+        #: handshake toward a dead peer still pays the full RC setup
+        #: time (the timeout) but yields an errored QP.
+        self.peer_alive: Callable[[str], bool] = lambda remote: True
+        self.reconnect_base_us = reconnect_base_us
+        self.reconnect_cap_us = reconnect_cap_us
+        #: per-tenant cap on reconnect attempts (None = unlimited).
+        self.tenant_retry_budget = tenant_retry_budget
+        self.reconnect_attempts: Dict[str, int] = {}
+        self._reconnecting: set = set()
         self._pool: Dict[Tuple[str, str], List[QueuePair]] = {}
         self.connections_established = 0
         self.setup_time_spent = 0.0
         self.quota_denials = 0
+        self.connect_failures = 0
+        self.evicted_qps = 0
+        self.reconnects_scheduled = 0
+        self.reconnects_succeeded = 0
+        self.budget_exhausted = 0
 
     def _establish(self, remote_node: str, tenant: str):
-        """Generator: full RC handshake (tens of milliseconds, §3.3)."""
+        """Generator: full RC handshake (tens of milliseconds, §3.3).
+
+        Toward a dead peer the handshake burns the full setup time and
+        returns a QP already in the ERROR state — posting on it flushes
+        immediately, surfacing the failure to the caller.
+        """
         yield self.env.timeout(self.cost.rc_setup_us)
         local = QueuePair(self.node, remote_node, tenant)
+        self.setup_time_spent += self.cost.rc_setup_us
+        if not self.peer_alive(remote_node):
+            local.state = QPState.ERROR
+            local.error_cause = f"connect to {remote_node} failed"
+            self.connect_failures += 1
+            return local
         peer = QueuePair(remote_node, self.node, tenant)
         local.peer, peer.peer = peer, local
         self.connections_established += 1
-        self.setup_time_spent += self.cost.rc_setup_us
         return local
+
+    def _prune(self, key: Tuple[str, str]) -> List[QueuePair]:
+        """Evict errored QPs from one pool; returns the live remainder."""
+        pool = self._pool.setdefault(key, [])
+        if any(qp.is_errored for qp in pool):
+            kept = [qp for qp in pool if not qp.is_errored]
+            self.evicted_qps += len(pool) - len(kept)
+            self._pool[key] = pool = kept
+        return pool
 
     def warm_up(self, remote_node: str, tenant: str, count: int = 0):
         """Generator: pre-establish the connection pool to a peer.
@@ -67,7 +111,7 @@ class ConnectionManager:
         parallel (they are independent QPs).
         """
         key = (remote_node, tenant)
-        pool = self._pool.setdefault(key, [])
+        pool = self._prune(key)
         target = count or self.conns_per_peer
         needed = target - len(pool)
         if needed <= 0:
@@ -78,7 +122,8 @@ class ConnectionManager:
             for _ in range(needed)
         ]
         done = yield self.env.all_of(procs)
-        pool.extend(proc.value for proc in procs)
+        pool.extend(proc.value for proc in procs
+                    if not proc.value.is_errored)
         return list(pool)
 
     def get_connection(self, remote_node: str, tenant: str):
@@ -86,12 +131,18 @@ class ConnectionManager:
 
         Prefers active QPs (no activation cost); activates a shadow QP
         when all active ones are loaded; establishes a brand-new
-        connection only when the pool is empty (cold start).
+        connection only when the pool is empty (cold start).  Errored
+        QPs are evicted first and never handed out from the pool.
         """
         key = (remote_node, tenant)
-        pool = self._pool.setdefault(key, [])
+        pool = self._prune(key)
         if not pool:
             qp = yield from self._establish(remote_node, tenant)
+            if qp.is_errored:
+                # Cold connect toward a dead peer: hand the errored QP
+                # to the caller (posting on it flushes) but keep the
+                # pool clean for the next attempt.
+                return qp
             pool.append(qp)
         active = [qp for qp in pool if qp.is_active]
         if active:
@@ -123,28 +174,130 @@ class ConnectionManager:
         return self.tenant_active_count(tenant) < self.tenant_active_quota
 
     def _activate(self, qp: QueuePair):
-        """Generator: promote a shadow QP to active (local-only, cheap)."""
-        if qp.state != QPState.ACTIVE:
+        """Generator: promote a shadow QP to active (local-only, cheap).
+
+        An errored QP is never resurrected — it is returned untouched
+        so the poster observes the flush.
+        """
+        if qp.state == QPState.INACTIVE:
             yield self.env.timeout(self.cost.qp_activate_us)
-            qp.state = QPState.ACTIVE
-            self.fabric.rnic(self.node).active_qps += 1
+            if qp.state == QPState.INACTIVE:  # may have errored meanwhile
+                qp.state = QPState.ACTIVE
+                self.fabric.rnic(self.node).active_qps += 1
         return qp
 
     def deactivate_idle(self) -> int:
         """Demote QPs with no pending work back to shadow state.
 
         Called periodically by the DNE core thread; returns the number
-        of QPs deactivated.
+        of QPs deactivated.  Errored QPs are evicted as a side effect
+        so the shadow pool never retains fault-torn connections.
         """
         demoted = 0
         rnic = self.fabric.rnic(self.node)
-        for pool in self._pool.values():
-            for qp in pool:
+        for key in list(self._pool):
+            for qp in self._prune(key):
                 if qp.is_active and qp.pending_wrs == 0:
                     qp.state = QPState.INACTIVE
                     rnic.active_qps -= 1
                     demoted += 1
         return demoted
+
+    # -- fault injection & recovery ---------------------------------------------
+    def _fail_qp(self, qp: QueuePair, cause: str) -> None:
+        self.fabric.rnic(qp.local_node).flush_qp(qp, cause)
+        if qp.peer is not None:
+            self.fabric.rnic(qp.remote_node).flush_qp(qp.peer, cause)
+
+    def fail_connections(
+        self,
+        remote: Optional[str] = None,
+        tenant: Optional[str] = None,
+        count: Optional[int] = None,
+        cause: str = "qp-error",
+    ) -> int:
+        """Force QPs into the ERROR state (both ends); returns the count.
+
+        ``remote``/``tenant`` filter which pools are hit; ``count``
+        bounds how many QPs error out (None = all matching).
+        """
+        failed = 0
+        for (peer, t), pool in self._pool.items():
+            if remote is not None and peer != remote:
+                continue
+            if tenant is not None and t != tenant:
+                continue
+            for qp in pool:
+                if qp.is_errored:
+                    continue
+                if count is not None and failed >= count:
+                    return failed
+                self._fail_qp(qp, cause)
+                failed += 1
+        return failed
+
+    def fail_peer(self, remote_node: str, cause: str = "peer-died") -> int:
+        """Error every pooled QP toward one (crashed) peer node."""
+        return self.fail_connections(remote=remote_node, cause=cause)
+
+    def fail_all(self, cause: str = "engine-crash") -> int:
+        """Error every pooled QP (local engine crash tears all state)."""
+        return self.fail_connections(cause=cause)
+
+    def evict_errored(self) -> int:
+        """Drop all errored QPs from every pool; returns the count."""
+        before = self.evicted_qps
+        for key in list(self._pool):
+            self._prune(key)
+        return self.evicted_qps - before
+
+    def schedule_reconnect(self, remote_node: str, tenant: str):
+        """Start (at most one) background reconnect toward a peer.
+
+        Returns the reconnect :class:`Process`, or None when one is
+        already running for this (peer, tenant) or the tenant's retry
+        budget is spent.
+        """
+        key = (remote_node, tenant)
+        if key in self._reconnecting:
+            return None
+        if self._budget_spent(tenant):
+            return None
+        self._reconnecting.add(key)
+        self.reconnects_scheduled += 1
+        return self.env.process(
+            self._reconnect(remote_node, tenant),
+            name=f"rc-reconnect:{self.node}->{remote_node}",
+        )
+
+    def _budget_spent(self, tenant: str) -> bool:
+        if self.tenant_retry_budget is None:
+            return False
+        if self.reconnect_attempts.get(tenant, 0) >= self.tenant_retry_budget:
+            self.budget_exhausted += 1
+            return True
+        return False
+
+    def _reconnect(self, remote_node: str, tenant: str):
+        """Generator: capped-exponential-backoff reconnect loop."""
+        key = (remote_node, tenant)
+        delay = self.reconnect_base_us
+        try:
+            while True:
+                yield self.env.timeout(delay)
+                if self._budget_spent(tenant):
+                    return False
+                self.reconnect_attempts[tenant] = (
+                    self.reconnect_attempts.get(tenant, 0) + 1
+                )
+                if self.peer_alive(remote_node):
+                    pool = yield from self.warm_up(remote_node, tenant, count=1)
+                    if pool:
+                        self.reconnects_succeeded += 1
+                        return True
+                delay = min(delay * 2.0, self.reconnect_cap_us)
+        finally:
+            self._reconnecting.discard(key)
 
     def active_count(self) -> int:
         return sum(

@@ -22,7 +22,8 @@ from typing import Dict, Optional
 from ..memory import Buffer, BufferState
 from ..sim import Environment, Store
 
-__all__ = ["QueuePair", "QPState", "SharedReceiveQueue", "ReceiveBufferRegistry"]
+__all__ = ["QueuePair", "QPState", "QpError", "SharedReceiveQueue",
+           "ReceiveBufferRegistry"]
 
 _qp_ids = itertools.count(1)
 
@@ -30,6 +31,25 @@ _qp_ids = itertools.count(1)
 class QPState:
     ACTIVE = "active"
     INACTIVE = "inactive"
+    #: terminal error state: posted WRs flush to failed CQEs and the QP
+    #: can never carry work again (it must be evicted and replaced).
+    ERROR = "error"
+
+
+class QpError(Exception):
+    """Raised inside a work-request execution when its QP errors out.
+
+    The RNIC converts this into a *flushed* CQE (``ok=False,
+    flushed=True``) so the polling engine can reclaim the buffer — the
+    flush-to-CQE semantics of real RC QPs.
+    """
+
+    def __init__(self, qp: Optional["QueuePair"] = None, cause: str = "qp-error"):
+        ident = (f"QP {qp.qp_id} {qp.local_node}->{qp.remote_node}"
+                 if qp is not None else "QP")
+        super().__init__(f"{ident}: {cause}")
+        self.qp = qp
+        self.cause = cause
 
 
 class QueuePair:
@@ -45,10 +65,16 @@ class QueuePair:
         self.pending_wrs = 0
         self.sends_posted = 0
         self.peer: Optional["QueuePair"] = None
+        #: why the QP entered the ERROR state (fault telemetry)
+        self.error_cause: str = ""
 
     @property
     def is_active(self) -> bool:
         return self.state == QPState.ACTIVE
+
+    @property
+    def is_errored(self) -> bool:
+        return self.state == QPState.ERROR
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -124,3 +150,7 @@ class SharedReceiveQueue:
     @property
     def depth(self) -> int:
         return len(self._queue.items)
+
+    def fail_pending(self, exc: BaseException) -> int:
+        """Abort senders blocked on this RQ (receiver died mid-RNR)."""
+        return self._queue.fail_getters(exc)

@@ -37,7 +37,7 @@ from ..memory import Buffer, BufferState, MemoryPool, RemoteMap
 from ..sim import Environment, FilterStore, Process, Resource
 
 from .mr import MemoryRegionTable
-from .qp import QueuePair, SharedReceiveQueue
+from .qp import QPState, QpError, QueuePair, SharedReceiveQueue
 from .verbs import Completion, Opcode, RDMA_HEADER_BYTES, WorkRequest
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -83,6 +83,40 @@ class Rnic:
         #: one-sided writes that landed on a buffer an agent was using
         self.potential_races = 0
         self.ops_completed = 0
+        #: fault state: a dead RNIC (node crash) errors every operation
+        #: touching it; the no-fault path is one attribute check.
+        self.dead = False
+        self.flushed_cqes = 0
+
+    # -- fault injection --------------------------------------------------------
+    def fail(self) -> None:
+        """Node/NIC death: stalled senders targeting this NIC error out."""
+        if self.dead:
+            return
+        self.dead = True
+        # Senders blocked in RNR on our shared RQs will never be
+        # replenished; flush them out of their (now errored) QPs.
+        for srq in self.srqs.values():
+            srq.fail_pending(QpError(cause=f"nic {self.node} died"))
+
+    def recover(self) -> None:
+        """Bring the NIC back (node restart); QPs stay errored."""
+        self.dead = False
+
+    def flush_qp(self, qp: QueuePair, cause: str = "qp-error") -> None:
+        """Move a QP to the ERROR state (idempotent).
+
+        In-flight WRs observe the state at their next pipeline stage
+        and flush to failed CQEs; WRs posted afterwards flush
+        immediately.  An errored QP can never be reactivated — the
+        connection manager must evict and replace it.
+        """
+        if qp.state == QPState.ERROR:
+            return
+        if qp.is_active:
+            self.active_qps -= 1
+        qp.state = QPState.ERROR
+        qp.error_cause = cause
 
     # -- setup ----------------------------------------------------------------
     def register_pool(self, pool: MemoryPool, remote_map: Optional[RemoteMap] = None):
@@ -122,7 +156,12 @@ class Rnic:
         return self.env.process(self._run_posted(qp, wr), name=f"wr{wr.wr_id}")
 
     def execute(self, qp: QueuePair, wr: WorkRequest):
-        """Generator: run a WR inline, returning the local completion."""
+        """Generator: run a WR inline, returning the local completion.
+
+        Unlike :meth:`post_send`, a QP error propagates as
+        :class:`QpError` to the (blocking) caller instead of flushing
+        to the CQ — the caller is waiting on this very operation.
+        """
         self._validate(qp, wr)
         qp.pending_wrs += 1
         try:
@@ -142,7 +181,18 @@ class Rnic:
 
     def _run_posted(self, qp: QueuePair, wr: WorkRequest):
         try:
-            completion = yield from self._execute(qp, wr)
+            try:
+                completion = yield from self._execute(qp, wr)
+            except QpError as exc:
+                # Flush-to-CQE: the buffer rides the failed completion
+                # back to the polling engine for reclamation.
+                self.flush_qp(qp, exc.cause)
+                self.flushed_cqes += 1
+                completion = Completion(
+                    opcode=wr.opcode, wr_id=wr.wr_id, ok=False,
+                    buffer=wr.buffer, length=wr.length, meta=dict(wr.meta),
+                    tenant=qp.tenant, flushed=True, error=exc.cause,
+                )
         finally:
             qp.pending_wrs -= 1
         self.ops_completed += 1
@@ -150,8 +200,16 @@ class Rnic:
             self.cq.put_nowait(completion)
         return completion
 
+    def _check_qp(self, qp: QueuePair) -> None:
+        """Stage-boundary fault check (free when no faults are active)."""
+        if qp.state == QPState.ERROR:
+            raise QpError(qp, qp.error_cause or "qp-error")
+        if self.dead:
+            raise QpError(qp, f"nic {self.node} died")
+
     # -- execution ------------------------------------------------------------------
     def _execute(self, qp: QueuePair, wr: WorkRequest):
+        self._check_qp(qp)
         remote = self.fabric.rnic(qp.remote_node)
         link = self.fabric.link(self.node, qp.remote_node)
 
@@ -161,6 +219,9 @@ class Rnic:
 
         # Wire.
         yield from link.transmit(wr.wire_bytes())
+        self._check_qp(qp)
+        if remote.dead:
+            raise QpError(qp, f"peer nic {remote.node} died")
 
         if wr.opcode == Opcode.SEND:
             return (yield from self._complete_send(qp, wr, remote))

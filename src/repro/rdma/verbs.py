@@ -83,3 +83,8 @@ class Completion:
     old_value: int = 0
     #: is this the receiver-side completion of a two-sided SEND?
     is_recv: bool = False
+    #: True when this CQE was flushed out of an errored QP (the
+    #: IBV_WC_WR_FLUSH_ERR analogue); ``ok`` is False for these.
+    flushed: bool = False
+    #: short cause string for failed completions (debug/telemetry)
+    error: str = ""

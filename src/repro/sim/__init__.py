@@ -12,7 +12,7 @@ from .core import (
 )
 from .monitor import LatencyStats, RateMeter, TimeSeries, UtilizationTracker
 from .resources import FilterStore, Request, Resource, Store
-from .rng import RngRegistry
+from .rng import FAULT_STREAM, RngRegistry
 from .trace import TraceRecord, Tracer
 
 __all__ = [
@@ -20,6 +20,7 @@ __all__ = [
     "AnyOf",
     "Environment",
     "Event",
+    "FAULT_STREAM",
     "FilterStore",
     "Interrupt",
     "LatencyStats",

@@ -217,6 +217,18 @@ class Store:
             return self.items.pop(0)
         return None
 
+    def fail_getters(self, exc: BaseException) -> int:
+        """Abort every pending ``get`` with ``exc``; returns the count.
+
+        Used by fault injection to model a producer dying while
+        consumers are blocked (e.g. senders stalled on a crashed node's
+        receive queue).  Items already in the store are untouched.
+        """
+        getters, self._getters = self._getters, []
+        for event in getters:
+            event.fail(exc)
+        return len(getters)
+
 
 class FilterStore(Store):
     """A :class:`Store` whose ``get`` may wait for a matching item."""

@@ -12,7 +12,13 @@ import hashlib
 import random
 from typing import Dict
 
-__all__ = ["RngRegistry"]
+__all__ = ["RngRegistry", "FAULT_STREAM"]
+
+#: Dedicated stream name for fault-schedule jitter.  Fault injection
+#: draws *only* from this stream so that (a) enabling a fault plan
+#: never perturbs the draws seen by workload generators and (b) the
+#: same seed + plan replays a byte-identical fault trace.
+FAULT_STREAM = "faults"
 
 
 class RngRegistry:
@@ -28,6 +34,10 @@ class RngRegistry:
             digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
             self._streams[name] = random.Random(int.from_bytes(digest[:8], "big"))
         return self._streams[name]
+
+    def faults(self) -> random.Random:
+        """The dedicated fault-injection stream (see :data:`FAULT_STREAM`)."""
+        return self.stream(FAULT_STREAM)
 
     def fork(self, salt: str) -> "RngRegistry":
         """Derive an independent registry (e.g. per repetition)."""

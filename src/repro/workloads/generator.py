@@ -37,6 +37,8 @@ class ClosedLoopClient:
         timeout_us: Optional[float] = None,
         payload: Any = "x",
         name: str = "client",
+        reconnect: bool = False,
+        reconnect_us: float = 10_000.0,
     ):
         self.env = env
         self.cluster = cluster
@@ -47,9 +49,15 @@ class ClosedLoopClient:
         self.timeout_us = timeout_us
         self.payload = payload
         self.name = name
+        #: instead of wrk's permanent disconnect on timeout, tear the
+        #: connection down and dial again after ``reconnect_us`` —
+        #: needed to observe goodput *recovery* after a fault clears.
+        self.reconnect = reconnect
+        self.reconnect_us = reconnect_us
         self.latency = LatencyStats(name)
         self.completed = 0
         self.errors = 0
+        self.reconnects = 0
         self.disconnected = False
         self._stop = False
 
@@ -74,11 +82,17 @@ class ClosedLoopClient:
                 timeout = self.env.timeout(self.timeout_us)
                 yield AnyOf(self.env, [response_event, timeout])
                 if not response_event.triggered:
-                    # wrk gives up on the connection: disconnect.
                     self.errors += 1
-                    self.disconnected = True
                     conn.open = False
-                    break
+                    if not self.reconnect:
+                        # wrk gives up on the connection: disconnect.
+                        self.disconnected = True
+                        break
+                    # Tear down and dial again after a pause.
+                    yield self.env.timeout(self.reconnect_us)
+                    conn = self.gateway.connect()
+                    self.reconnects += 1
+                    continue
             self.latency.record(self.env.now - t0)
             self.completed += 1
             if self.think_us:
@@ -125,9 +139,14 @@ class ClientFleet:
                 yield AnyOf(self.env, [response_event, timeout])
                 if not response_event.triggered:
                     client.errors += 1
-                    client.disconnected = True
                     conn.open = False
-                    break
+                    if not client.reconnect:
+                        client.disconnected = True
+                        break
+                    yield self.env.timeout(client.reconnect_us)
+                    conn = client.gateway.connect()
+                    client.reconnects += 1
+                    continue
             client.latency.record(self.env.now - t0)
             client.completed += 1
             self.throughput.record(self.env.now)

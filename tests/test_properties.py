@@ -188,3 +188,72 @@ def test_dwrr_single_tenant_preserves_fifo(sizes):
     while sched.pending():
         out.append(sched.dequeue()[1])
     assert out == list(range(len(sizes)))
+
+# ---------------------------------------------------------------------------
+# Fault injection: seeded replay determinism
+# ---------------------------------------------------------------------------
+
+from repro.faults import FaultInjector, FaultPlan  # noqa: E402
+from repro.platform import ElasticPlatform, FunctionSpec, Tenant  # noqa: E402
+from repro.sim import RngRegistry  # noqa: E402
+
+
+def _fault_scenario(seed, crash_at, down_us):
+    """A small crash/restart run; returns every observable of the run."""
+    env = Environment()
+    plat = ElasticPlatform(env)
+    plat.add_tenant(Tenant("t1"))
+    client = plat.deploy(FunctionSpec("client", "t1", work_us=0), "worker0")
+    spec = FunctionSpec("svc", "t1", work_us=5)
+    plat.deploy_service(spec, "worker1")
+    plat.scale_out(spec, "worker0")
+    plat.start()
+
+    rng = RngRegistry(seed).stream("workload")
+    stats = {"ok": 0, "err": 0}
+
+    def load():
+        yield env.timeout(30_000)
+        for _ in range(20):
+            yield env.timeout(rng.uniform(200.0, 2_000.0))
+            try:
+                yield from client.invoke("svc", "ping", 64)
+                stats["ok"] += 1
+            except Exception:
+                stats["err"] += 1
+
+    env.process(load(), name="load")
+    plan = FaultPlan().node_crash(crash_at, "worker1", down_us=down_us)
+    injector = FaultInjector(env, plat, plan)
+    injector.start()
+    env.run(until=250_000)
+    reconnects = sum(e.conn_mgr.reconnects_succeeded
+                     for e in plat.engines.values())
+    return (tuple(injector.timeline), stats["ok"], stats["err"], reconnects)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    crash_at=st.floats(min_value=40_000.0, max_value=100_000.0),
+    down_us=st.floats(min_value=20_000.0, max_value=80_000.0),
+)
+@settings(max_examples=6, deadline=None)
+def test_fault_replay_is_deterministic(seed, crash_at, down_us):
+    """Same seed + same plan -> identical timeline and counters."""
+    first = _fault_scenario(seed, crash_at, down_us)
+    second = _fault_scenario(seed, crash_at, down_us)
+    assert first == second
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    burn=st.integers(min_value=0, max_value=64),
+)
+@settings(max_examples=20, deadline=None)
+def test_fault_stream_never_perturbs_workload_draws(seed, burn):
+    """Draws on the dedicated faults stream leave other streams intact."""
+    clean, faulty = RngRegistry(seed), RngRegistry(seed)
+    for _ in range(burn):
+        faulty.faults().random()
+    assert ([clean.stream("workload").random() for _ in range(16)]
+            == [faulty.stream("workload").random() for _ in range(16)])
