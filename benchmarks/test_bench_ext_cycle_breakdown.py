@@ -1,0 +1,38 @@
+"""Extension bench: Fig. 4/5-style CPU cycle breakdown.
+
+Regenerates the ext_cycle_breakdown experiment: the Online Boutique
+runs instrumented with the telemetry profiler and every component
+charges its core time to a cycle category.  SPRIGHT's non-application
+cycles are dominated by copies + kernel protocol processing while the
+DNE's host-side overhead is almost entirely descriptor handling — the
+paper's motivation for a DPU-resident zero-copy data plane.
+"""
+
+from repro.experiments import run_ext_cycle_breakdown
+from repro.telemetry import CYCLE_CATEGORIES
+
+
+def test_bench_ext_cycle_breakdown(once):
+    result = once(run_ext_cycle_breakdown, clients=12,
+                  duration_us=100_000.0)
+    print()
+    print(result)
+    rows = {d["config"]: d for d in
+            (result.row_dict(i) for i in range(len(result.rows)))}
+    spright = rows["spright"]
+    dne = rows["palladium-dne"]
+    # SPRIGHT: copy + protocol dominate the non-application cycles.
+    spright_waste = spright["copy_pct"] + spright["protocol_pct"]
+    spright_nonapp = 100.0 - spright["app_pct"]
+    assert spright_waste > 0.5 * spright_nonapp
+    # The DNE eliminates copies; descriptor work dominates its overhead.
+    assert dne["copy_pct"] == 0.0
+    dne_nonapp = 100.0 - dne["app_pct"]
+    assert dne["descriptor_pct"] > 0.5 * dne_nonapp
+    # The DNE wastes far fewer cycles overall than SPRIGHT.
+    assert dne["overhead_pct"] < 0.5 * spright["overhead_pct"]
+    # The instrumented run attached a metrics registry snapshot.
+    assert result.metrics, "instrumented run should attach metrics"
+    assert "engine_tx_total" in result.metrics
+    assert "ingress_latency_us" in result.metrics
+    assert len(CYCLE_CATEGORIES) == 5

@@ -58,6 +58,21 @@ class SprightEngine(NetworkEngine):
         buffer.check_owner(self.agent)
         dst_fn = descriptor.meta["dst"]
         ack = descriptor.meta.get("_ack")
+        tel = self.env.telemetry
+        span = None
+        if tel is not None:
+            span = tel.tracer.start_span(
+                "engine.tx", parent=descriptor.meta.get("_trace"),
+                category="engine", node=self.node.name, actor=self.name,
+                tenant=tenant, src=src_fn, dst=dst_fn,
+                bytes=descriptor.length)
+            descriptor.meta["_trace"] = span.context
+            self._charge_cycles(tel, (
+                ("protocol",
+                 cost.sk_msg_interrupt_us + cost.kernel_tcp_us),
+                ("descriptor", self.channel.ingest_cost_us()),
+                ("copy", cost.copy_time(descriptor.length)),
+            ))
         try:
             dst_node = self.routes.node_for(dst_fn)
         except RouteError:
@@ -66,6 +81,11 @@ class SprightEngine(NetworkEngine):
             if ack is not None and not ack.triggered:
                 ack.succeed(False)
             self._recycle(buffer, tenant)
+            if tel is not None:
+                tel.metrics.counter(
+                    "engine_dropped_total", "Messages dropped by an engine.",
+                    labels=("engine", "stage")).labels(self.name, "tx").inc()
+                tel.tracer.end_span(span, status="drop")
             return
         peer = self.peers.get(dst_node)
         if peer is None:
@@ -92,6 +112,10 @@ class SprightEngine(NetworkEngine):
         self.stats.tx_messages += 1
         self.stats.tx_bytes += descriptor.length
         self.stats.tenant_meter(tenant).record(self.env.now)
+        if tel is not None:
+            tel.metrics.counter(
+                "engine_tx_total", "TX descriptors processed by an engine.",
+                labels=("engine", "tenant")).labels(self.name, tenant).inc()
 
         def _transit():
             yield from link.transmit(descriptor.length + TCP_FRAME_OVERHEAD)
@@ -99,13 +123,28 @@ class SprightEngine(NetworkEngine):
                 # Peer engine is down: the kernel connection resets and
                 # the message is lost (SPRIGHT has no failover).
                 self.stats.dropped += 1
+                if tel is not None:
+                    tel.metrics.counter(
+                        "engine_dropped_total",
+                        "Messages dropped by an engine.",
+                        labels=("engine", "stage")).labels(
+                            self.name, "transit").inc()
+                    tel.tracer.end_span(span, status="drop")
                 return
             # Receive-side kernel TCP + softirq processing happens in
             # interrupt context on the peer's shared cores, before the
             # engine's event loop ever sees the message.
+            if tel is not None:
+                tel.cycles.charge(
+                    "protocol",
+                    (cost.kernel_tcp_us + cost.kernel_irq_us)
+                    * peer.node.cpu.factor,
+                    where=peer.name)
             yield from peer.node.cpu.execute(
                 cost.kernel_tcp_us + cost.kernel_irq_us
             )
+            if tel is not None:
+                tel.tracer.end_span(span)
             peer.inject_event("tcp", payload)
 
         self.env.process(_transit(), name=f"{self.name}-tcp-tx")
@@ -120,6 +159,18 @@ class SprightEngine(NetworkEngine):
 
     def _handle_tcp_rx(self, payload: Dict):
         cost = self.cost
+        tel = self.env.telemetry
+        span = None
+        if tel is not None:
+            span = tel.tracer.start_span(
+                "engine.rx", parent=payload["meta"].get("_trace"),
+                category="engine", node=self.node.name, actor=self.name,
+                tenant=payload["tenant"], bytes=payload["length"])
+            self._charge_cycles(tel, (
+                ("protocol", cost.sk_msg_interrupt_us),
+                ("copy", cost.copy_time(payload["length"])),
+                ("descriptor", cost.dne_rx_proc_us),
+            ))
         # Socket read + copy into the local pool (the kernel/softirq
         # cost was already paid in interrupt context).
         yield from self._run(
@@ -130,6 +181,8 @@ class SprightEngine(NetworkEngine):
         tenant = payload["tenant"]
         state = self._tenants.get(tenant)
         if state is None:
+            if tel is not None:
+                tel.tracer.end_span(span, status="drop")
             return
         try:
             buffer = state.pool.get(self.agent)
@@ -139,11 +192,23 @@ class SprightEngine(NetworkEngine):
         dst_fn = payload["meta"].get("dst")
         self.stats.rx_messages += 1
         self.stats.rx_bytes += payload["length"]
+        if tel is not None:
+            tel.metrics.counter(
+                "engine_rx_total", "RX completions delivered by an engine.",
+                labels=("engine", "tenant")).labels(self.name, tenant).inc()
         if dst_fn is None or dst_fn not in self.channel.endpoints:
             buffer.pool.put(buffer, self.agent)
+            if tel is not None:
+                tel.metrics.counter(
+                    "engine_dropped_total", "Messages dropped by an engine.",
+                    labels=("engine", "stage")).labels(self.name, "rx").inc()
+                tel.tracer.end_span(span, status="drop")
             return
         buffer.transfer(self.agent, f"fn:{dst_fn}")
         descriptor = BufferDescriptor(
             buffer=buffer, length=payload["length"], meta=dict(payload["meta"])
         )
+        if tel is not None:
+            descriptor.meta["_trace"] = span.context
+            tel.tracer.end_span(span)
         self.channel.dne_send(dst_fn, descriptor)

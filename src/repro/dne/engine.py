@@ -165,6 +165,30 @@ class NetworkEngine:
         """Host-core-equivalent cost to push one RX descriptor out."""
         return self.channel.ingest_cost_us()
 
+    # -- cycle attribution (telemetry only, see repro.telemetry.profiler) ----
+    def _tx_cycle_charges(self) -> Tuple[Tuple[str, float], ...]:
+        """(category, host_us) attribution of one TX iteration's work.
+
+        Used only when telemetry is installed; the engine's actual
+        ``_run`` charge is computed independently so attribution can
+        never perturb timing.
+        """
+        return (
+            ("descriptor", self._ingest_cost_us() + self.cost.dne_tx_proc_us),
+            ("scheduling", self.cost.dwrr_decision_us),
+        )
+
+    def _rx_cycle_charges(self) -> Tuple[Tuple[str, float], ...]:
+        """(category, host_us) attribution of one RX iteration's work."""
+        return (
+            ("descriptor", self.cost.dne_rx_proc_us + self._egress_cost_us()),
+        )
+
+    def _charge_cycles(self, tel, charges) -> None:
+        factor = self.core.factor if self.core is not None else 1.0
+        for category, host_us in charges:
+            tel.cycles.charge(category, host_us * factor, where=self.name)
+
     # -- configuration --------------------------------------------------------
     def setup_tenant(
         self,
@@ -371,6 +395,16 @@ class NetworkEngine:
         buffer = descriptor.buffer
         buffer.check_owner(self.agent)
         dst_fn = descriptor.meta["dst"]
+        tel = self.env.telemetry
+        span = None
+        if tel is not None:
+            span = tel.tracer.start_span(
+                "engine.tx", parent=descriptor.meta.get("_trace"),
+                category="engine", node=self.node.name, actor=self.name,
+                tenant=tenant, src=src_fn, dst=dst_fn,
+                bytes=descriptor.length)
+            descriptor.meta["_trace"] = span.context
+            self._charge_cycles(tel, self._tx_cycle_charges())
         # Ingest + routing + WR build, all on the engine's core.
         yield from self._run(
             self._ingest_cost_us() + cost.dne_tx_proc_us + cost.dwrr_decision_us
@@ -386,6 +420,12 @@ class NetworkEngine:
             if ack is not None and not ack.triggered:
                 ack.succeed(False)
             self._recycle(buffer, tenant)
+            if tel is not None:
+                tel.metrics.counter(
+                    "engine_dropped_total", "Messages dropped by an engine.",
+                    labels=("engine", "stage")).labels(self.name, "tx").inc()
+                span.event("drop", self.env.now, reason="no-route")
+                tel.tracer.end_span(span, status="drop")
             return
         qp = yield from self.conn_mgr.get_connection(dst_node, tenant)
         wr = WorkRequest(
@@ -408,6 +448,11 @@ class NetworkEngine:
         self.stats.tx_messages += 1
         self.stats.tx_bytes += descriptor.length
         self.stats.tenant_meter(tenant).record(self.env.now)
+        if tel is not None:
+            tel.metrics.counter(
+                "engine_tx_total", "TX descriptors processed by an engine.",
+                labels=("engine", "tenant")).labels(self.name, tenant).inc()
+            tel.tracer.end_span(span)
 
     # -- RX stage (Fig. 7) -----------------------------------------------------------
     def _handle_event(self, event):
@@ -429,9 +474,17 @@ class NetworkEngine:
             yield from self._handle_recv(completion)
         elif completion.opcode == Opcode.SEND:
             # Send completed: tiny poll cost, recycle the source buffer.
+            tel = self.env.telemetry
+            if tel is not None:
+                self._charge_cycles(tel, (("descriptor", cost.mempool_op_us),))
             yield from self._run(cost.mempool_op_us)
             if not completion.ok:
                 self.stats.tx_errors += 1
+                if tel is not None:
+                    tel.metrics.counter(
+                        "engine_tx_errors_total",
+                        "SEND completions that came back failed.",
+                        labels=("engine",)).labels(self.name).inc()
             # Reliability hook: senders running with a retry budget
             # smuggle an ack event through the WR meta; succeed it with
             # the completion status (False for flushed CQEs).
@@ -446,12 +499,22 @@ class NetworkEngine:
 
     def _handle_recv(self, completion: Completion):
         cost = self.cost
+        tel = self.env.telemetry
+        span = None
+        if tel is not None:
+            span = tel.tracer.start_span(
+                "engine.rx", parent=completion.meta.get("_trace"),
+                category="engine", node=self.node.name, actor=self.name,
+                tenant=completion.tenant or "", bytes=completion.length)
+            self._charge_cycles(tel, self._rx_cycle_charges())
         yield from self._run(cost.dne_rx_proc_us + self._egress_cost_us())
         buffer = completion.buffer
         if not completion.ok:
             # Length error: reclaim the buffer and drop.
             self.stats.dropped += 1
             self._recycle(buffer, completion.tenant)
+            if tel is not None:
+                tel.tracer.end_span(span, status="drop")
             return
         dst_fn = completion.meta.get("dst")
         # RBR gave us the buffer; pass ownership along the token chain:
@@ -462,10 +525,21 @@ class NetworkEngine:
         )
         self.stats.rx_messages += 1
         self.stats.rx_bytes += completion.length
+        if tel is not None:
+            descriptor.meta["_trace"] = span.context
+            tel.metrics.counter(
+                "engine_rx_total", "RX completions delivered by an engine.",
+                labels=("engine", "tenant")).labels(
+                    self.name, completion.tenant or "").inc()
         if dst_fn is None or dst_fn not in self.channel.endpoints:
             # Destination vanished (scale-down race): recycle and drop.
             self.stats.dropped += 1
             self._recycle(buffer, completion.tenant)
+            if tel is not None:
+                tel.metrics.counter(
+                    "engine_dropped_total", "Messages dropped by an engine.",
+                    labels=("engine", "stage")).labels(self.name, "rx").inc()
+                tel.tracer.end_span(span, status="drop")
             return
         buffer.transfer(self.agent, f"fn:{dst_fn}")
         if self.mode == self.MODE_ON_PATH:
@@ -477,6 +551,8 @@ class NetworkEngine:
             self.env.process(_staged_deliver(), name=f"{self.name}-onpath-rx")
         else:
             self.channel.dne_send(dst_fn, descriptor)
+        if tel is not None:
+            tel.tracer.end_span(span)
 
 
 class DpuNetworkEngine(NetworkEngine):
@@ -525,4 +601,21 @@ class CpuNetworkEngine(NetworkEngine):
         return (
             self.cost.sk_msg_us
             + self._interrupt_penalty_us()
+        )
+
+    # CNE attribution: the SK_MSG interrupt machinery and the livelock
+    # penalty are protocol overhead, not descriptor work.
+    def _tx_cycle_charges(self) -> Tuple[Tuple[str, float], ...]:
+        return (
+            ("protocol",
+             self.cost.sk_msg_interrupt_us + self._interrupt_penalty_us()),
+            ("descriptor",
+             self.channel.ingest_cost_us() + self.cost.dne_tx_proc_us),
+            ("scheduling", self.cost.dwrr_decision_us),
+        )
+
+    def _rx_cycle_charges(self) -> Tuple[Tuple[str, float], ...]:
+        return (
+            ("descriptor", self.cost.dne_rx_proc_us),
+            ("protocol", self.cost.sk_msg_us + self._interrupt_penalty_us()),
         )

@@ -19,7 +19,18 @@ __all__ = ["FcfsScheduler", "DwrrScheduler", "TenantScheduler"]
 
 
 class TenantScheduler:
-    """Interface: per-tenant TX queueing discipline inside the engine."""
+    """Interface: per-tenant TX queueing discipline inside the engine.
+
+    All implementations keep three cheap observability counters —
+    ``enqueued``, ``dequeued``, ``peak_backlog`` — that the platform
+    exports into the metrics registry when telemetry is enabled.
+    """
+
+    #: lifetime items accepted / handed to the engine, and the deepest
+    #: instantaneous backlog seen (plain ints; no telemetry required)
+    enqueued: int = 0
+    dequeued: int = 0
+    peak_backlog: int = 0
 
     def enqueue(self, tenant: str, item: object, nbytes: int = 1) -> None:
         raise NotImplementedError
@@ -33,6 +44,12 @@ class TenantScheduler:
     def backlog(self, tenant: str) -> int:
         raise NotImplementedError
 
+    def _note_enqueue(self) -> None:
+        self.enqueued += 1
+        depth = self.pending()
+        if depth > self.peak_backlog:
+            self.peak_backlog = depth
+
 
 class FcfsScheduler(TenantScheduler):
     """First-come-first-served: one global FIFO, no tenant awareness.
@@ -44,16 +61,21 @@ class FcfsScheduler(TenantScheduler):
     def __init__(self):
         self._queue: Deque[Tuple[str, object]] = deque()
         self._per_tenant: Dict[str, int] = {}
+        self.enqueued = 0
+        self.dequeued = 0
+        self.peak_backlog = 0
 
     def enqueue(self, tenant: str, item: object, nbytes: int = 1) -> None:
         self._queue.append((tenant, item))
         self._per_tenant[tenant] = self._per_tenant.get(tenant, 0) + 1
+        self._note_enqueue()
 
     def dequeue(self) -> Optional[Tuple[str, object]]:
         if not self._queue:
             return None
         tenant, item = self._queue.popleft()
         self._per_tenant[tenant] -= 1
+        self.dequeued += 1
         return tenant, item
 
     def pending(self) -> int:
@@ -81,6 +103,9 @@ class DwrrScheduler(TenantScheduler):
         self._deficit: Dict[str, float] = {}
         self._active: Deque[str] = deque()
         self._pending = 0
+        self.enqueued = 0
+        self.dequeued = 0
+        self.peak_backlog = 0
 
     def set_weight(self, tenant: str, weight: float) -> None:
         """Assign a tenant's share weight (must be positive)."""
@@ -104,6 +129,7 @@ class DwrrScheduler(TenantScheduler):
                 self._deficit.setdefault(tenant, 0.0)
         queue.append((item, max(1, nbytes)))
         self._pending += 1
+        self._note_enqueue()
 
     def dequeue(self) -> Optional[Tuple[str, object]]:
         if self._pending == 0:
@@ -126,6 +152,7 @@ class DwrrScheduler(TenantScheduler):
                 queue.popleft()
                 self._deficit[tenant] -= head_bytes
                 self._pending -= 1
+                self.dequeued += 1
                 if not queue:
                     self._active.popleft()
                     self._deficit[tenant] = 0.0

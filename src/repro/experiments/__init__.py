@@ -7,6 +7,11 @@ from .fig12_primitives import run_fig12
 from .fig13_ingress import run_fig13
 from .fig14_scaling import run_fig14
 from .fig15_tenancy import run_fig15, run_tenancy
+from .ext_cycle_breakdown import (
+    run_cycle_point,
+    run_ext_cycle_breakdown,
+    run_trace_smoke,
+)
 from .ext_fault_recovery import run_ext_fault_recovery, run_fault_point
 from .fig16_boutique import run_boutique_point, run_fig16, run_table2
 from .report import from_json, load, save, to_csv, to_json
@@ -24,8 +29,11 @@ __all__ = [
     "to_json",
     "validation",
     "run_boutique_point",
+    "run_cycle_point",
+    "run_ext_cycle_breakdown",
     "run_ext_fault_recovery",
     "run_fault_point",
+    "run_trace_smoke",
     "run_fig09",
     "run_multi_ingress",
     "run_placement_ablation",

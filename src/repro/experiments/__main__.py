@@ -18,6 +18,7 @@ import sys
 import time
 
 from . import (
+    run_ext_cycle_breakdown,
     run_ext_fault_recovery,
     run_fig09,
     run_fig11,
@@ -97,6 +98,12 @@ EXPERIMENTS = {
         lambda: run_ext_fault_recovery(
             configs=("palladium-dne", "palladium-dne-no-recovery"),
             clients=8, down_us=80_000.0, post_us=60_000.0),
+    ),
+    "cycle-breakdown": (
+        run_ext_cycle_breakdown,
+        lambda: run_ext_cycle_breakdown(
+            configs=("spright", "palladium-dne"),
+            clients=8, duration_us=60_000.0),
     ),
 }
 

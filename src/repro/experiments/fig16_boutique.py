@@ -39,6 +39,7 @@ from ..config import CostModel, SEC
 from ..ingress import FIngress, KIngress, PalladiumIngress, TcpWorkerAdapter
 from ..platform import ServerlessPlatform, Tenant
 from ..sim import Environment
+from ..telemetry import Telemetry
 from ..workloads import (
     BOUTIQUE_TENANT,
     CHAIN_PATHS,
@@ -126,14 +127,20 @@ def run_boutique_point(
     duration_us: float = 250_000.0,
     warmup_us: float = 80_000.0,
     cost: Optional[CostModel] = None,
+    with_telemetry: bool = False,
 ) -> Dict[str, float]:
     """One Fig. 16 / Table 2 cell.
 
     Returns rps, mean latency (ms), engine CPU% (both workers), worker
-    adapter CPU%, and DPU core%.
+    adapter CPU%, and DPU core%.  With ``with_telemetry`` the run is
+    instrumented (spans + metrics + cycle ledger) and the
+    :class:`~repro.telemetry.Telemetry` bundle is attached under the
+    extra ``"telemetry"`` key; telemetry never perturbs the simulation,
+    so all other keys are identical either way.
     """
     cost = cost or CostModel()
     env = Environment()
+    telemetry = Telemetry.install(env) if with_telemetry else None
     plat, ingress = _build_platform(config, env, cost)
     ingress.start()
     plat.start()
@@ -161,7 +168,7 @@ def run_boutique_point(
         for pinned in runtime.node.cpu.pinned:
             if "tcpgw" in pinned.name:
                 adapter_pct += 100.0
-    return {
+    metrics = {
         "rps": fleet.rps(measure_from, env.now),
         "latency_ms": fleet.mean_latency_us() / 1000.0,
         "engine_cpu_pct": engine_pct,
@@ -169,6 +176,10 @@ def run_boutique_point(
         "dpu_pct": plat.dpu_cpu_pct(measure_from, baseline),
         "errors": fleet.total_errors(),
     }
+    if telemetry is not None:
+        plat.export_metrics(telemetry)
+        metrics["telemetry"] = telemetry
+    return metrics
 
 
 def run_fig16(

@@ -31,6 +31,8 @@ def to_json(result: ExperimentResult) -> str:
                    for key, points in result.series.items()},
         "notes": result.notes,
     }
+    if result.metrics:
+        payload["metrics"] = result.metrics
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
@@ -48,6 +50,7 @@ def from_json(text: str) -> ExperimentResult:
                                 for p in points])
     for note in payload.get("notes", []):
         result.note(note)
+    result.metrics = payload.get("metrics", {})
     return result
 
 

@@ -24,6 +24,9 @@ class ExperimentResult:
     rows: List[List[Any]] = field(default_factory=list)
     series: Dict[str, List] = field(default_factory=dict)
     notes: List[str] = field(default_factory=list)
+    #: optional telemetry snapshot (a :meth:`MetricsRegistry.snapshot`
+    #: dict) captured when the experiment ran instrumented
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
     def add_row(self, *values: Any) -> None:
         if len(values) != len(self.columns):
@@ -38,6 +41,11 @@ class ExperimentResult:
 
     def note(self, text: str) -> None:
         self.notes.append(text)
+
+    def attach_metrics(self, registry) -> None:
+        """Attach a metrics registry (or snapshot dict) to the result."""
+        snapshot = getattr(registry, "snapshot", None)
+        self.metrics = snapshot() if callable(snapshot) else dict(registry)
 
     def column(self, name: str) -> List[Any]:
         """All values of one column, in row order."""

@@ -66,6 +66,12 @@ class FaultInjector:
                 yield self.env.timeout(at - self.env.now)
             detail = yield from self._apply(event)
             self.timeline.append((self.env.now, event.kind, event.target, detail))
+            tel = self.env.telemetry
+            if tel is not None:
+                tel.tracer.incident(event.kind, event.target, detail=detail)
+                tel.metrics.counter(
+                    "fault_events_total", "Fault-plan events applied.",
+                    labels=("kind",)).labels(event.kind).inc()
 
     # -- appliers ---------------------------------------------------------------
     def _apply(self, event: FaultEvent):

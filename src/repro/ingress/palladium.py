@@ -78,8 +78,8 @@ class PalladiumIngress:
         self.stats = GatewayStats()
         self.latency = LatencyStats("ingress-e2e")
         self.throughput = RateMeter("ingress-rps", bucket=stats_bucket_us)
-        #: rid -> (connection, worker, request, accept time)
-        self._pending: Dict[int, Tuple[ClientConnection, GatewayWorker, HttpRequest, float]] = {}
+        #: rid -> (connection, worker, request, accept time, span)
+        self._pending: Dict[int, Tuple[ClientConnection, GatewayWorker, HttpRequest, float, object]] = {}
         self._running = False
         self.min_workers = min_workers
         self.max_workers = max_workers
@@ -195,6 +195,18 @@ class PalladiumIngress:
         yield from http.parse(request.wire_bytes)
         tenant, entry_fn = self.resolver(request.path)
         entry_fn = self.service_resolver(entry_fn)
+        tel = self.env.telemetry
+        span = None
+        if tel is not None:
+            # The trace root: one span covering the whole request, from
+            # HTTP accept to the response hitting the Ethernet wire.
+            span = tel.tracer.start_span(
+                f"request:{request.path}", category="request",
+                node=self.node.name, actor=worker.name, tenant=tenant,
+                entry=entry_fn, bytes=request.body_bytes)
+            tel.metrics.counter(
+                "ingress_requests_total", "HTTP requests accepted at the "
+                "ingress.", labels=("tenant",)).labels(tenant).inc()
         pool = self.pools[tenant]
         try:
             buffer = pool.get(self.AGENT)
@@ -202,7 +214,7 @@ class PalladiumIngress:
             buffer = yield from pool.get_wait(self.AGENT)
         buffer.write(self.AGENT, request.body, request.body_bytes)
         rid = next(_rids)
-        self._pending[rid] = (conn, worker, request, self.env.now)
+        self._pending[rid] = (conn, worker, request, self.env.now, span)
         try:
             dst_node = self.routes.node_for(entry_fn)
         except RouteError:
@@ -211,21 +223,29 @@ class PalladiumIngress:
             self._pending.pop(rid, None)
             pool.put(buffer, self.AGENT)
             self.stats.dropped += 1
+            if tel is not None:
+                tel.metrics.counter(
+                    "ingress_dropped_total", "Requests the ingress could "
+                    "not serve.", labels=("reason",)).labels("no-route").inc()
+                tel.tracer.end_span(span, status="drop")
             return
         qp = yield from self.conn_mgr.get_connection(dst_node, tenant)
+        meta = {
+            "kind": "request",
+            "rid": rid,
+            "src": self.AGENT,
+            "dst": entry_fn,
+            "reply_to": self.AGENT,
+            "tenant": tenant,
+            "_via": "engine",
+        }
+        if span is not None:
+            meta["_trace"] = span.context
         wr = WorkRequest(
             opcode=Opcode.SEND,
             buffer=buffer,
             length=request.body_bytes,
-            meta={
-                "kind": "request",
-                "rid": rid,
-                "src": self.AGENT,
-                "dst": entry_fn,
-                "reply_to": self.AGENT,
-                "tenant": tenant,
-                "_via": "engine",
-            },
+            meta=meta,
         )
         self.rnic.post_send(qp, wr)
 
@@ -240,11 +260,12 @@ class PalladiumIngress:
         if entry is None:
             self.stats.dropped += 1
             return
-        conn, _worker, request, t0 = entry
+        conn, _worker, request, t0, span = entry
         response = HttpResponse(status=200, body=body, body_bytes=length,
                                 request_id=request.request_id)
         yield from http.serialize(response.wire_bytes)
         yield from fstack.tx(response.wire_bytes)
+        tel = self.env.telemetry
 
         def _transit():
             # Ethernet transit happens in the NIC, not the worker loop.
@@ -255,6 +276,16 @@ class PalladiumIngress:
             self.stats.completed += 1
             self.latency.record(self.env.now - t0)
             self.throughput.record(self.env.now)
+            if tel is not None and span is not None:
+                tenant = span.tags.get("tenant", "")
+                tel.metrics.counter(
+                    "ingress_responses_total", "Responses delivered to "
+                    "clients.", labels=("tenant",)).labels(tenant).inc()
+                tel.metrics.histogram(
+                    "ingress_latency_us", "End-to-end request latency at "
+                    "the ingress.", labels=("tenant",)).labels(
+                        tenant).observe(self.env.now - t0)
+                tel.tracer.end_span(span)
 
         self.env.process(_transit(), name="ingress-ether-tx")
 
@@ -285,8 +316,11 @@ class PalladiumIngress:
                     rid = completion.meta.get("rid")
                     for gw in self.siblings:
                         if rid in gw._pending:
-                            gw._pending.pop(rid, None)
+                            entry = gw._pending.pop(rid, None)
                             gw.stats.dropped += 1
+                            tel = self.env.telemetry
+                            if tel is not None and entry[4] is not None:
+                                tel.tracer.end_span(entry[4], status="error")
                             break
 
     def _replenisher(self):

@@ -70,8 +70,13 @@ class KernelTcpStack:
         self.in_flight += 1
         try:
             irq = self.cost.kernel_irq_us * self._livelock_penalty()
-            yield from self._softirq.use(irq * self.cpu.factor)
             work = self.cost.kernel_tcp_us + nbytes * 0.00008
+            tel = self.env.telemetry
+            if tel is not None:
+                tel.cycles.charge(
+                    "protocol", (irq + work) * self.cpu.factor,
+                    where=self.name)
+            yield from self._softirq.use(irq * self.cpu.factor)
             yield from self.cpu.execute(work)
             self.stats.rx_messages += 1
         finally:
@@ -80,11 +85,20 @@ class KernelTcpStack:
     def tx(self, nbytes: int):
         """Generator: transmit-path processing of one message."""
         work = self.cost.kernel_tcp_us + nbytes * 0.00008
+        tel = self.env.telemetry
+        if tel is not None:
+            tel.cycles.charge("protocol", work * self.cpu.factor,
+                              where=self.name)
         yield from self.cpu.execute(work)
         self.stats.tx_messages += 1
 
     def handshake(self):
         """Generator: TCP three-way-handshake processing."""
+        tel = self.env.telemetry
+        if tel is not None:
+            tel.cycles.charge("protocol",
+                              self.cost.tcp_handshake_us * self.cpu.factor,
+                              where=self.name)
         yield from self.cpu.execute(self.cost.tcp_handshake_us)
         self.stats.handshakes += 1
 
@@ -105,19 +119,29 @@ class FStack:
         self.name = name
         self.stats = StackStats()
 
+    def _charge(self, work: float) -> None:
+        tel = self.env.telemetry
+        if tel is not None:
+            tel.cycles.charge("protocol", work * self.core.factor,
+                              where=self.name)
+
     def rx(self, nbytes: int):
         """Generator: poll-mode receive processing of one message."""
         work = self.cost.fstack_us + nbytes * 0.00004
+        self._charge(work)
         yield from self.core.run(work)
         self.stats.rx_messages += 1
 
     def tx(self, nbytes: int):
         """Generator: poll-mode transmit processing of one message."""
         work = self.cost.fstack_us + nbytes * 0.00004
+        self._charge(work)
         yield from self.core.run(work)
         self.stats.tx_messages += 1
 
     def handshake(self):
         """Generator: handshake processing (cheaper, no syscalls)."""
-        yield from self.core.run(self.cost.tcp_handshake_us * 0.3)
+        work = self.cost.tcp_handshake_us * 0.3
+        self._charge(work)
+        yield from self.core.run(work)
         self.stats.handshakes += 1

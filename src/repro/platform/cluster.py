@@ -265,6 +265,45 @@ class ServerlessPlatform:
             snap[f"engine:{name}"] = engine.busy_us
         return snap
 
+    def export_metrics(self, telemetry=None) -> None:
+        """Publish cluster state into the telemetry metrics registry.
+
+        Gauges mirror the cumulative counters the platform objects
+        already keep, so one call refreshes the whole registry (the
+        experiment runner calls this before snapshotting).
+        """
+        tel = telemetry if telemetry is not None else self.env.telemetry
+        if tel is None:
+            return
+        m = tel.metrics
+        busy = m.gauge("core_busy_us", "Cumulative busy time per core "
+                       "complex.", labels=("node", "complex"))
+        for name, runtime in self.runtimes.items():
+            busy.labels(name, "cpu").set(runtime.node.cpu.total_busy_time())
+            if runtime.node.dpu is not None:
+                busy.labels(name, "dpu").set(
+                    runtime.node.dpu.total_busy_time())
+        app = m.gauge("fn_app_time_us", "Cumulative application compute "
+                      "per function.", labels=("fn",))
+        for fn_id, instance in self.functions.items():
+            app.labels(fn_id).set(instance.app_time_us)
+        eng_busy = m.gauge("engine_busy_us", "Cumulative engine core "
+                           "occupancy.", labels=("engine",))
+        sched = m.gauge("scheduler_events", "Tenant-scheduler counters.",
+                        labels=("engine", "event"))
+        conns = m.gauge("rc_connections", "RC connection pool state.",
+                        labels=("node", "state"))
+        for name, engine in self.engines.items():
+            eng_busy.labels(engine.name).set(engine.busy_us)
+            sch = engine.scheduler
+            sched.labels(engine.name, "enqueued").set(sch.enqueued)
+            sched.labels(engine.name, "dequeued").set(sch.dequeued)
+            sched.labels(engine.name, "peak_backlog").set(sch.peak_backlog)
+            mgr = engine.conn_mgr
+            conns.labels(name, "active").set(mgr.active_count())
+            conns.labels(name, "pooled").set(mgr.pooled_count())
+            conns.labels(name, "evicted").set(mgr.evicted_qps)
+
     def dataplane_cpu_pct(self, since: float = 0.0,
                           baseline: Optional[Dict[str, float]] = None) -> float:
         """Worker CPU spent on the data plane, % of one core.

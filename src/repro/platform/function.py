@@ -68,21 +68,28 @@ class FunctionContext:
         self.instance = instance
         self.request = request
         self.env = instance.env
+        #: the execution span of this invocation (telemetry only)
+        self.span = None
 
     def compute(self, host_us: Optional[float] = None):
         """Generator: burn application-logic CPU time on the host."""
         work = self.instance.spec.work_us if host_us is None else host_us
         self.instance.app_time_us += work
+        tel = self.env.telemetry
+        if tel is not None:
+            tel.cycles.charge("app", work, where=self.instance.spec.name)
         yield from self.instance.cpu.execute(work)
 
     def invoke(self, dst_fn: str, payload: Any, size: int):
         """Generator: request/response invocation of another function."""
-        reply = yield from self.instance.invoke(dst_fn, payload, size)
+        reply = yield from self.instance.invoke(dst_fn, payload, size,
+                                                parent_span=self.span)
         return reply
 
     def respond(self, payload: Any, size: int):
         """Generator: send the response back to this request's caller."""
-        yield from self.instance.respond(self.request, payload, size)
+        yield from self.instance.respond(self.request, payload, size,
+                                         parent_span=self.span)
 
 
 class FunctionInstance:
@@ -142,7 +149,16 @@ class FunctionInstance:
                 self.iolib.recycle(descriptor.buffer, self.agent)
                 continue
             # Wake-up cost depends on how the descriptor arrived.
-            yield from self.cpu.execute(self.iolib.recv_cost_us(descriptor))
+            recv_us = self.iolib.recv_cost_us(descriptor)
+            tel = self.env.telemetry
+            if tel is not None:
+                # Descriptor-channel wakeups are descriptor handling;
+                # the TCP fallback wakes through the kernel stack.
+                via = descriptor.meta.get("_via", "")
+                category = "protocol" if via == "tcp" else "descriptor"
+                tel.cycles.charge(category, recv_us,
+                                  where=f"recv:{self.spec.name}")
+            yield from self.cpu.execute(recv_us)
             meta = descriptor.meta
             if meta.get("kind") == "response":
                 event = self._pending.pop(meta["rid"], None)
@@ -169,6 +185,13 @@ class FunctionInstance:
                 descriptor=descriptor,
             )
             ctx = FunctionContext(self, message)
+            tel = self.env.telemetry
+            if tel is not None:
+                ctx.span = tel.tracer.start_span(
+                    f"fn.exec:{self.spec.name}",
+                    parent=message.meta.get("_trace"), category="function",
+                    node=self.iolib.runtime.node.name, actor=self.spec.name,
+                    tenant=self.spec.tenant)
             handler = self.spec.handler or _echo_handler
             try:
                 yield from handler(ctx, message)
@@ -181,12 +204,28 @@ class FunctionInstance:
                 buffer = descriptor.buffer
                 if buffer is not None and buffer.owner == self.agent:
                     self.iolib.recycle(buffer, self.agent)
+                if tel is not None:
+                    tel.tracer.end_span(ctx.span, status="error")
+                    tel.metrics.counter(
+                        "fn_failed_total", "Handler executions abandoned on "
+                        "a downstream error.", labels=("fn",)).labels(
+                            self.spec.name).inc()
                 continue
             self.handled += 1
             self.latency.record(self.env.now - started)
+            if tel is not None:
+                tel.tracer.end_span(ctx.span)
+                tel.metrics.counter(
+                    "fn_handled_total", "Handler executions completed.",
+                    labels=("fn", "tenant")).labels(
+                        self.spec.name, self.spec.tenant).inc()
+                tel.metrics.histogram(
+                    "fn_exec_latency_us", "Handler wall time, request "
+                    "dequeue to completion.", labels=("fn",)).labels(
+                        self.spec.name).observe(self.env.now - started)
 
     # -- invocation API ------------------------------------------------------------
-    def invoke(self, dst_fn: str, payload: Any, size: int):
+    def invoke(self, dst_fn: str, payload: Any, size: int, parent_span=None):
         """Generator: RPC to ``dst_fn``; returns the reply :class:`Message`."""
         rid = next(_rids)
         event = self.env.event()
@@ -199,7 +238,23 @@ class FunctionInstance:
             "reply_to": self.spec.name,
             "tenant": self.spec.tenant,
         }
-        yield from self.iolib.send(self.agent, dst_fn, payload, size, meta)
+        tel = self.env.telemetry
+        span = None
+        if tel is not None:
+            # NB: no rid tag — rids come from a process-global counter,
+            # and tagging them would break byte-identical exports across
+            # repeated runs in one process (the rid still rides meta).
+            span = tel.tracer.start_span(
+                f"fn.invoke:{dst_fn}", parent=parent_span,
+                category="function", node=self.iolib.runtime.node.name,
+                actor=self.spec.name, tenant=self.spec.tenant)
+            meta["_trace"] = span.context
+        try:
+            yield from self.iolib.send(self.agent, dst_fn, payload, size, meta)
+        except SendError:
+            if tel is not None:
+                tel.tracer.end_span(span, status="error")
+            raise
         deadline_us = getattr(self.iolib.runtime, "invoke_timeout_us", None)
         if deadline_us is None:
             reply_desc = yield event
@@ -211,6 +266,8 @@ class FunctionInstance:
                 # is recycled by the dispatcher.
                 self._pending.pop(rid, None)
                 self.invoke_timeouts += 1
+                if tel is not None:
+                    tel.tracer.end_span(span, status="timeout")
                 raise InvokeTimeout(
                     f"{self.spec.name}: invoke of {dst_fn!r} (rid {rid}) "
                     f"timed out after {deadline_us:.0f}us"
@@ -224,9 +281,12 @@ class FunctionInstance:
         )
         # The runtime owns the reply buffer; recycle it after the read.
         self.iolib.recycle(reply_desc.buffer, self.agent)
+        if tel is not None:
+            tel.tracer.end_span(span)
         return reply
 
-    def respond(self, request: Message, payload: Any, size: int):
+    def respond(self, request: Message, payload: Any, size: int,
+                parent_span=None):
         """Generator: answer ``request``, reusing its buffer (zero-copy)."""
         meta = {
             "kind": "response",
@@ -235,6 +295,15 @@ class FunctionInstance:
             "dst": request.meta["reply_to"],
             "tenant": self.spec.tenant,
         }
+        tel = self.env.telemetry
+        if tel is not None:
+            # Thread the response into the caller's trace: under the
+            # execution span when we have it, else wherever the request
+            # context pointed.
+            if parent_span is not None:
+                meta["_trace"] = parent_span.context
+            elif "_trace" in request.meta:
+                meta["_trace"] = request.meta["_trace"]
         yield from self.iolib.send_buffer(
             self.agent, request.meta["reply_to"], request.descriptor.buffer,
             payload, size, meta,

@@ -200,12 +200,21 @@ class IoLibrary:
             dst_fn = resolve(dst_fn)
         meta = dict(meta)
         meta["dst"] = dst_fn
+        tel = self.env.telemetry
         if self.runtime.crosses_security_domain(self.tenant, dst_fn):
             yield from self._send_cross_domain(src_agent, dst_fn, buffer,
                                                payload, size, meta,
                                                extra_cpu_us)
         elif self.runtime.intra_routes.is_local(dst_fn):
             meta["_via"] = self.VIA_SKMSG
+            span = None
+            if tel is not None:
+                span = self._send_span(tel, meta, dst_fn, size, "skmsg")
+                tel.cycles.charge("descriptor",
+                                  extra_cpu_us + self.cost.sk_msg_us,
+                                  where=f"iolib:{self.runtime.node.name}")
+                tel.cycles.charge("protocol", self.runtime.sidecar_us,
+                                  where="sidecar")
             descriptor = BufferDescriptor(buffer=buffer, length=size, meta=meta)
             buffer.transfer(src_agent, f"fn:{dst_fn}")
             yield from self.cpu.execute(
@@ -214,6 +223,8 @@ class IoLibrary:
             self.runtime.sockmap.redirect(dst_fn, descriptor)
             self.intra_sends += 1
             self._ack(meta, True)
+            if tel is not None:
+                tel.tracer.end_span(span)
         else:
             engine = self.runtime.engine
             if engine is None:
@@ -230,6 +241,14 @@ class IoLibrary:
                 self.fallback_sends += 1
                 return
             meta["_via"] = self.VIA_ENGINE
+            span = None
+            if tel is not None:
+                span = self._send_span(tel, meta, dst_fn, size, "engine")
+                tel.cycles.charge("descriptor",
+                                  extra_cpu_us + engine.channel.fn_cpu_us,
+                                  where=f"iolib:{self.runtime.node.name}")
+                tel.cycles.charge("protocol", self.runtime.sidecar_us,
+                                  where="sidecar")
             descriptor = BufferDescriptor(buffer=buffer, length=size, meta=meta)
             buffer.transfer(src_agent, engine.agent)
             yield from self.cpu.execute(
@@ -238,6 +257,8 @@ class IoLibrary:
             )
             engine.channel.post_from_function(self.fn_id, descriptor)
             self.inter_sends += 1
+            if tel is not None:
+                tel.tracer.end_span(span)
 
     @staticmethod
     def _ack(meta: Dict, ok: bool) -> None:
@@ -245,6 +266,18 @@ class IoLibrary:
         ack = meta.get("_ack")
         if ack is not None and not ack.triggered:
             ack.succeed(ok)
+
+    def _send_span(self, tel, meta: Dict, dst_fn: str, size: int, via: str):
+        """Open a send span, stamp its context into ``meta``, count it."""
+        span = tel.tracer.start_span(
+            "iolib.send", parent=meta.get("_trace"), category="iolib",
+            node=self.runtime.node.name, actor=self.fn_id,
+            tenant=self.tenant, dst=dst_fn, via=via, bytes=size)
+        meta["_trace"] = span.context
+        tel.metrics.counter(
+            "iolib_sends_total", "Messages sent through the I/O library.",
+            labels=("via", "tenant")).labels(via, self.tenant).inc()
+        return span
 
     def _send_cross_domain(self, src_agent: str, dst_fn: str, buffer: Buffer,
                            payload, size: int, meta: Dict,
@@ -264,6 +297,17 @@ class IoLibrary:
             )
         dst_pool = self.runtime.pool_for(dst_tenant)
         dst_buffer = yield from dst_pool.get_wait(src_agent)
+        tel = self.env.telemetry
+        span = None
+        if tel is not None:
+            span = self._send_span(tel, meta, dst_fn, size, "xdomain")
+            tel.cycles.charge("copy", self.cost.copy_time(size),
+                              where="xdomain-copy")
+            tel.cycles.charge("descriptor",
+                              extra_cpu_us + self.cost.sk_msg_us,
+                              where=f"iolib:{self.runtime.node.name}")
+            tel.cycles.charge("protocol", self.runtime.sidecar_us,
+                              where="sidecar")
         # The copy itself plus sidecar access control, on the host core.
         yield from self.cpu.execute(
             extra_cpu_us + self.runtime.sidecar_us
@@ -280,6 +324,8 @@ class IoLibrary:
         buffer.pool.put(buffer, src_agent)
         self.cross_domain_sends += 1
         self._ack(meta, True)
+        if tel is not None:
+            tel.tracer.end_span(span)
 
     # -- receive path ------------------------------------------------------------
     def recv_cost_us(self, descriptor: BufferDescriptor) -> float:
@@ -327,6 +373,19 @@ class KernelTcpFallback:
         """Generator: carry one message over the kernel stack."""
         runtime = iolib.runtime
         cost = self.cost
+        tel = self.env.telemetry
+        span = None
+        if tel is not None:
+            span = tel.tracer.start_span(
+                "iolib.send", parent=meta.get("_trace"), category="iolib",
+                node=runtime.node.name, actor=iolib.fn_id,
+                tenant=iolib.tenant, dst=dst_fn, via="tcp-fallback",
+                bytes=size)
+            meta["_trace"] = span.context
+            tel.metrics.counter(
+                "iolib_sends_total", "Messages sent through the I/O library.",
+                labels=("via", "tenant")).labels(
+                    "tcp-fallback", iolib.tenant).inc()
         # Route lookup reuses the engine's table: the control plane
         # (coordinator-pushed routes) survives the data-path crash.
         try:
@@ -335,7 +394,14 @@ class KernelTcpFallback:
             self.dropped += 1
             buffer.pool.put(buffer, src_agent)
             IoLibrary._ack(meta, False)
+            if tel is not None:
+                tel.tracer.end_span(span, status="drop")
             return
+        if tel is not None:
+            tel.cycles.charge("protocol", cost.kernel_tcp_us,
+                              where="tcp-fallback")
+            tel.cycles.charge("copy", cost.copy_time(size),
+                              where="tcp-fallback")
         # Sender: copy out of the shared pool + protocol processing.
         yield from runtime.node.cpu.execute(
             cost.kernel_tcp_us + cost.copy_time(size)
@@ -351,13 +417,23 @@ class KernelTcpFallback:
             # Connection reset: destination node or endpoint is gone.
             self.dropped += 1
             IoLibrary._ack(meta, False)
+            if tel is not None:
+                tel.tracer.end_span(span, status="drop")
             return
         try:
             dst_buffer = dst_runtime.pool_for(iolib.tenant).get(self.agent)
         except (KeyError, PoolExhausted):
             self.dropped += 1
             IoLibrary._ack(meta, False)
+            if tel is not None:
+                tel.tracer.end_span(span, status="drop")
             return
+        if tel is not None:
+            tel.cycles.charge("protocol",
+                              cost.kernel_tcp_us + cost.kernel_irq_us,
+                              where="tcp-fallback")
+            tel.cycles.charge("copy", cost.copy_time(size),
+                              where="tcp-fallback")
         # Receiver: kernel + softirq processing, copy into the pool.
         yield from dst_runtime.node.cpu.execute(
             cost.kernel_tcp_us + cost.kernel_irq_us + cost.copy_time(size)
@@ -370,3 +446,5 @@ class KernelTcpFallback:
         dst_runtime.sockmap.redirect(dst_fn, descriptor)
         self.delivered += 1
         IoLibrary._ack(meta, True)
+        if tel is not None:
+            tel.tracer.end_span(span)

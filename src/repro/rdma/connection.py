@@ -84,14 +84,23 @@ class ConnectionManager:
         yield self.env.timeout(self.cost.rc_setup_us)
         local = QueuePair(self.node, remote_node, tenant)
         self.setup_time_spent += self.cost.rc_setup_us
+        tel = self.env.telemetry
         if not self.peer_alive(remote_node):
             local.state = QPState.ERROR
             local.error_cause = f"connect to {remote_node} failed"
             self.connect_failures += 1
+            if tel is not None:
+                tel.metrics.counter(
+                    "rc_connects_total", "RC handshakes by outcome.",
+                    labels=("node", "ok")).labels(self.node, "false").inc()
             return local
         peer = QueuePair(remote_node, self.node, tenant)
         local.peer, peer.peer = peer, local
         self.connections_established += 1
+        if tel is not None:
+            tel.metrics.counter(
+                "rc_connects_total", "RC handshakes by outcome.",
+                labels=("node", "ok")).labels(self.node, "true").inc()
         return local
 
     def _prune(self, key: Tuple[str, str]) -> List[QueuePair]:
@@ -184,6 +193,11 @@ class ConnectionManager:
             if qp.state == QPState.INACTIVE:  # may have errored meanwhile
                 qp.state = QPState.ACTIVE
                 self.fabric.rnic(self.node).active_qps += 1
+                tel = self.env.telemetry
+                if tel is not None:
+                    tel.metrics.counter(
+                        "qp_activations_total", "Shadow QPs promoted to "
+                        "active.", labels=("node",)).labels(self.node).inc()
         return qp
 
     def deactivate_idle(self) -> int:
@@ -265,6 +279,11 @@ class ConnectionManager:
             return None
         self._reconnecting.add(key)
         self.reconnects_scheduled += 1
+        tel = self.env.telemetry
+        if tel is not None:
+            tel.metrics.counter(
+                "rc_reconnects_scheduled_total", "Background reconnect "
+                "loops started.", labels=("node",)).labels(self.node).inc()
         return self.env.process(
             self._reconnect(remote_node, tenant),
             name=f"rc-reconnect:{self.node}->{remote_node}",

@@ -128,6 +128,8 @@ class SharedReceiveQueue:
         self._wr_seq = itertools.count(1)
         #: completions consumed since last replenish check
         self.consumed_since_replenish = 0
+        #: arrivals that found the RQ empty (RNR back-pressure events)
+        self.rnr_stalls = 0
 
     def post(self, buffer: Buffer, owner: str) -> int:
         """Post one receive buffer; ownership moves to the RNIC."""
@@ -145,6 +147,15 @@ class SharedReceiveQueue:
         An empty shared RQ corresponds to an RNR condition on real
         hardware — the sender stalls until the receiver replenishes.
         """
+        if not self._queue.items:
+            self.rnr_stalls += 1
+            tel = self.env.telemetry
+            if tel is not None:
+                tel.metrics.counter(
+                    "srq_rnr_stalls_total", "Senders that found an empty "
+                    "shared RQ (RNR condition).",
+                    labels=("node", "tenant")).labels(
+                        self.node, self.tenant).inc()
         return self._queue.get()
 
     @property

@@ -153,7 +153,19 @@ class Rnic:
         self._validate(qp, wr)
         qp.pending_wrs += 1
         qp.sends_posted += 1
-        return self.env.process(self._run_posted(qp, wr), name=f"wr{wr.wr_id}")
+        span = None
+        tel = self.env.telemetry
+        if tel is not None and "_trace" in wr.meta:
+            # The transfer span: post to completion, child of whatever
+            # posted the WR; the receive side chains off it through the
+            # context re-stamped into the WR meta.
+            span = tel.tracer.start_span(
+                f"rdma.{wr.opcode}", parent=wr.meta["_trace"],
+                category="rdma", node=self.node, actor=f"rnic:{self.node}",
+                tenant=qp.tenant, dst=qp.remote_node, bytes=wr.length)
+            wr.meta["_trace"] = span.context
+        return self.env.process(self._run_posted(qp, wr, span),
+                                name=f"wr{wr.wr_id}")
 
     def execute(self, qp: QueuePair, wr: WorkRequest):
         """Generator: run a WR inline, returning the local completion.
@@ -179,7 +191,7 @@ class Rnic:
         if wr.buffer is not None:
             self.mrt.lookup_buffer(wr.buffer)
 
-    def _run_posted(self, qp: QueuePair, wr: WorkRequest):
+    def _run_posted(self, qp: QueuePair, wr: WorkRequest, span=None):
         try:
             try:
                 completion = yield from self._execute(qp, wr)
@@ -196,6 +208,15 @@ class Rnic:
         finally:
             qp.pending_wrs -= 1
         self.ops_completed += 1
+        tel = self.env.telemetry
+        if tel is not None:
+            tel.metrics.counter(
+                "rnic_ops_total", "Work requests completed by an RNIC.",
+                labels=("node", "opcode", "ok")).labels(
+                    self.node, wr.opcode, completion.ok).inc()
+            if span is not None:
+                tel.tracer.end_span(
+                    span, status="ok" if completion.ok else "flushed")
         if wr.signaled:
             self.cq.put_nowait(completion)
         return completion

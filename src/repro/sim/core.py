@@ -363,6 +363,11 @@ class Environment:
         self._queue: List[Any] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        #: observability hook (``repro.telemetry.Telemetry`` or None).
+        #: Instrumentation sites across the stack check this attribute;
+        #: None (the default) means every site is a single attribute
+        #: read — telemetry is strictly opt-in and purely passive.
+        self.telemetry: Optional[Any] = None
 
     @property
     def now(self) -> float:

@@ -57,12 +57,16 @@ class LatencyStats:
     def __init__(self, name: str = ""):
         self.name = name
         self.samples: List[float] = []
+        #: sorted view, computed lazily and invalidated on record() so
+        #: repeated p50/p99/max summaries don't re-sort large runs
+        self._sorted: Optional[List[float]] = None
 
     def record(self, latency: float) -> None:
         """Add one latency sample (same unit as the simulation clock)."""
         if latency < 0:
             raise ValueError(f"negative latency: {latency}")
         self.samples.append(latency)
+        self._sorted = None
 
     @property
     def count(self) -> int:
@@ -78,7 +82,9 @@ class LatencyStats:
             return 0.0
         if not 0 <= p <= 100:
             raise ValueError(f"percentile out of range: {p}")
-        ordered = sorted(self.samples)
+        if self._sorted is None or len(self._sorted) != len(self.samples):
+            self._sorted = sorted(self.samples)
+        ordered = self._sorted
         rank = max(0, min(len(ordered) - 1, math.ceil(p / 100.0 * len(ordered)) - 1))
         return ordered[rank]
 
@@ -120,13 +126,21 @@ class RateMeter:
         self._fine[idx] = self._fine.get(idx, 0) + n
 
     def rate(self, start: float, end: float) -> float:
-        """Completions per time unit over ``[start, end)`` wall window."""
+        """Completions per time unit over ``[start, end)`` wall window.
+
+        Buckets that only partially overlap the window contribute
+        proportionally to the overlap, so short or unaligned windows are
+        not skewed by whole-bucket counting at the edges.
+        """
         if end <= start:
             return 0.0
-        n = sum(
-            c for idx, c in self._fine.items()
-            if start <= idx * self.resolution < end
-        )
+        res = self.resolution
+        n = 0.0
+        for idx, c in self._fine.items():
+            b0 = idx * res
+            overlap = min(end, b0 + res) - max(start, b0)
+            if overlap > 0:
+                n += c if overlap >= res else c * (overlap / res)
         return n / (end - start)
 
     def series(self) -> TimeSeries:

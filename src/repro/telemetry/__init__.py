@@ -1,0 +1,42 @@
+"""First-class observability for the simulated stack.
+
+Three pillars (ISSUE 2 / the paper's Fig. 4-5 methodology):
+
+``spans``
+    Per-invocation trace contexts that ride descriptor/WR ``meta``
+    dicts through ingress -> DNE -> RDMA/Comch -> function -> response,
+    exportable as Chrome trace-event JSON (load in Perfetto).
+``metrics``
+    Labeled counters/gauges and bounded log-linear histograms with a
+    Prometheus-text and JSON snapshot exporter.
+``profiler``
+    A cycle ledger attributing consumed core-microseconds to the
+    paper's breakdown categories (app / copy / descriptor / protocol /
+    scheduling).
+
+Everything hangs off :class:`Telemetry`, installed on an
+``Environment`` via ``Telemetry.install(env)``.  When not installed
+(``env.telemetry is None``, the default) every instrumentation site in
+the stack reduces to one attribute read — zero simulation overhead.
+Telemetry never creates simulation events, never yields, and never
+draws random numbers, so even *enabled* telemetry cannot perturb
+results (tested in ``tests/test_telemetry.py``).
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profiler import CYCLE_CATEGORIES, CycleLedger
+from .runtime import Telemetry
+from .spans import Span, SpanTracer, validate_chrome_trace
+
+__all__ = [
+    "CYCLE_CATEGORIES",
+    "Counter",
+    "CycleLedger",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanTracer",
+    "Telemetry",
+    "validate_chrome_trace",
+]

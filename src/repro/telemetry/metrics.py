@@ -1,0 +1,298 @@
+"""Labeled metrics: counters, gauges, bounded log-linear histograms.
+
+The registry follows the Prometheus data model: a *family* has a name,
+help text, and a fixed tuple of label names; each distinct label-value
+combination is a *child* carrying the actual state.  Families are
+created on first use and are idempotent — asking the registry for an
+existing name returns the existing family (type mismatches raise).
+
+Naming conventions (see docs/OBSERVABILITY.md):
+
+* ``snake_case`` metric names, ``_total`` suffix on counters,
+  ``_us`` suffix for microsecond quantities;
+* label names are drawn from the small shared vocabulary
+  ``tenant``, ``node``, ``engine``, ``fn``, ``via``, ``kind``,
+  ``opcode``, ``config`` so metrics join across subsystems.
+
+Histograms are log-linear (HdrHistogram-style): each power-of-two
+octave is divided into a fixed number of linear sub-buckets, giving
+bounded memory and bounded relative error regardless of sample count —
+this is what replaces unbounded per-sample lists on hot paths.
+
+Exporters are deterministic: children and labels are emitted in sorted
+order, so two identical runs produce byte-identical text/JSON.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+def _format_value(value: float) -> str:
+    """Prometheus-style number formatting (ints without trailing .0)."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def snapshot(self):
+        return self.value
+
+
+class Gauge:
+    """A value that can go up and down (queue depths, free buffers)."""
+
+    kind = "gauge"
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def snapshot(self):
+        return self.value
+
+
+class Histogram:
+    """Bounded log-linear histogram with Prometheus ``le`` semantics.
+
+    Bucket upper bounds start at ``low`` and within each octave
+    ``[b, 2b)`` there are ``sub_buckets`` linearly spaced bounds, up to
+    ``high``; one final ``+Inf`` bucket catches the rest.  ``observe``
+    is O(log buckets); memory is fixed at construction.
+    """
+
+    kind = "histogram"
+
+    __slots__ = ("bounds", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, low: float = 1.0, high: float = 10_000_000.0,
+                 sub_buckets: int = 4):
+        if low <= 0 or high <= low or sub_buckets < 1:
+            raise ValueError("need 0 < low < high and sub_buckets >= 1")
+        bounds: List[float] = [low]
+        octave = low
+        while bounds[-1] < high:
+            for i in range(1, sub_buckets + 1):
+                bound = octave * (1.0 + i / sub_buckets)
+                if bound > bounds[-1]:
+                    bounds.append(bound)
+                if bounds[-1] >= high:
+                    break
+            octave *= 2.0
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        #: counts[i] pairs with bounds[i] (value <= bound); the final
+        #: slot is the +Inf bucket
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.counts[bisect_left(self.bounds, value)] += 1
+
+    def bucket_index(self, value: float) -> int:
+        """Index of the bucket ``observe(value)`` lands in."""
+        return bisect_left(self.bounds, value)
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile ``q`` in [0, 1] from bucket bounds."""
+        if not 0 <= q <= 1:
+            raise ValueError(f"quantile out of range: {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank and c:
+                if i == len(self.bounds):  # +Inf bucket
+                    return self.max
+                return min(self.bounds[i], self.max)
+        return self.max
+
+    def snapshot(self):
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "buckets": [
+                [bound, c]
+                for bound, c in zip(self.bounds, self.counts)
+                if c
+            ],
+            "overflow": self.counts[-1],
+        }
+
+
+class MetricFamily:
+    """All children of one metric name (one per label-value tuple)."""
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str],
+                 factory, **factory_kwargs):
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._factory = factory
+        self._factory_kwargs = factory_kwargs
+        self._children: Dict[Tuple[str, ...], object] = {}
+
+    @property
+    def kind(self) -> str:
+        return self._factory.kind
+
+    def labels(self, *values) -> object:
+        if len(values) != len(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected {len(self.labelnames)} label "
+                f"value(s) {self.labelnames}, got {len(values)}")
+        key = tuple(str(v) for v in values)
+        child = self._children.get(key)
+        if child is None:
+            child = self._children[key] = self._factory(**self._factory_kwargs)
+        return child
+
+    # -- unlabeled convenience: family acts as its own single child ----------
+    def inc(self, amount: float = 1.0) -> None:
+        self.labels().inc(amount)
+
+    def set(self, value: float) -> None:
+        self.labels().set(value)
+
+    def observe(self, value: float) -> None:
+        self.labels().observe(value)
+
+    def children(self) -> Iterator[Tuple[Tuple[str, ...], object]]:
+        """Children in deterministic (sorted label values) order."""
+        return iter(sorted(self._children.items()))
+
+    def value(self, *values) -> float:
+        """Scalar value of one child (counters/gauges)."""
+        return self.labels(*values).value
+
+
+class MetricsRegistry:
+    """The process-wide (per-``Telemetry``) collection of families."""
+
+    def __init__(self):
+        self._families: Dict[str, MetricFamily] = {}
+
+    def _family(self, name: str, help: str, labels: Sequence[str],
+                factory, **kwargs) -> MetricFamily:
+        family = self._families.get(name)
+        if family is not None:
+            if family.kind != factory.kind:
+                raise TypeError(
+                    f"metric {name!r} already registered as {family.kind}")
+            return family
+        family = MetricFamily(name, help, labels, factory, **kwargs)
+        self._families[name] = family
+        return family
+
+    def counter(self, name: str, help: str = "",
+                labels: Sequence[str] = ()) -> MetricFamily:
+        return self._family(name, help, labels, Counter)
+
+    def gauge(self, name: str, help: str = "",
+              labels: Sequence[str] = ()) -> MetricFamily:
+        return self._family(name, help, labels, Gauge)
+
+    def histogram(self, name: str, help: str = "",
+                  labels: Sequence[str] = (), low: float = 1.0,
+                  high: float = 10_000_000.0,
+                  sub_buckets: int = 4) -> MetricFamily:
+        return self._family(name, help, labels, Histogram,
+                            low=low, high=high, sub_buckets=sub_buckets)
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        return self._families.get(name)
+
+    def families(self) -> Iterator[MetricFamily]:
+        for name in sorted(self._families):
+            yield self._families[name]
+
+    # -- exporters -----------------------------------------------------------
+    def snapshot(self) -> Dict[str, dict]:
+        """JSON-safe snapshot of every family (deterministic order)."""
+        out: Dict[str, dict] = {}
+        for family in self.families():
+            out[family.name] = {
+                "type": family.kind,
+                "help": family.help,
+                "labels": list(family.labelnames),
+                "values": [
+                    {
+                        "labels": dict(zip(family.labelnames, key)),
+                        "value": child.snapshot(),
+                    }
+                    for key, child in family.children()
+                ],
+            }
+        return out
+
+    def prometheus_text(self) -> str:
+        """Prometheus exposition-format dump (sorted, deterministic)."""
+        lines: List[str] = []
+        for family in self.families():
+            lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for key, child in family.children():
+                label_str = ",".join(
+                    f'{n}="{v}"' for n, v in zip(family.labelnames, key))
+                if family.kind == "histogram":
+                    cumulative = 0
+                    for bound, count in zip(child.bounds, child.counts):
+                        cumulative += count
+                        le = ([label_str] if label_str else []) + \
+                            [f'le="{_format_value(bound)}"']
+                        lines.append(
+                            f"{family.name}_bucket{{{','.join(le)}}} "
+                            f"{cumulative}")
+                    cumulative += child.counts[-1]
+                    le = ([label_str] if label_str else []) + ['le="+Inf"']
+                    lines.append(
+                        f"{family.name}_bucket{{{','.join(le)}}} {cumulative}")
+                    suffix = f"{{{label_str}}}" if label_str else ""
+                    lines.append(f"{family.name}_sum{suffix} "
+                                 f"{_format_value(child.sum)}")
+                    lines.append(f"{family.name}_count{suffix} {child.count}")
+                else:
+                    suffix = f"{{{label_str}}}" if label_str else ""
+                    lines.append(f"{family.name}{suffix} "
+                                 f"{_format_value(child.snapshot())}")
+        return "\n".join(lines) + ("\n" if lines else "")
