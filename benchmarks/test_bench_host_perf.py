@@ -1,0 +1,70 @@
+"""Bench: host-side simulator performance (wall-clock + events/sec).
+
+Times the two hottest reproduction workloads — one Fig. 16 boutique
+point and the Fig. 12 primitive sweep — and emits
+``BENCH_host_perf.json`` so PRs touching the dataplane or the event
+loop can report their wall-clock delta.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.experiments import run_boutique_point, run_fig12
+from repro.sim import Environment
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_host_perf.json"
+
+
+def _timed(fn, *args, **kwargs):
+    """Run ``fn`` counting simulator events; return (result, profile)."""
+    counted = {"events": 0}
+    original_step = Environment.step
+
+    def counting_step(self):
+        counted["events"] += 1
+        original_step(self)
+
+    Environment.step = counting_step
+    t0 = time.perf_counter()
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        wall = time.perf_counter() - t0
+        Environment.step = original_step
+    return result, {
+        "wall_clock_s": round(wall, 4),
+        "sim_events": counted["events"],
+        "events_per_sec": round(counted["events"] / wall) if wall else 0,
+    }
+
+
+def test_bench_host_perf(once):
+    def workload():
+        profiles = {}
+        _, profiles["fig16_palladium_dne"] = _timed(
+            run_boutique_point, "palladium-dne", "Home Query",
+            clients=8, duration_us=120_000.0,
+        )
+        _, profiles["fig12_primitives"] = _timed(
+            run_fig12, sizes=(256, 4096), concurrency=4,
+            duration_us=20_000.0,
+        )
+        return profiles
+
+    profiles = once(workload)
+    total_wall = sum(p["wall_clock_s"] for p in profiles.values())
+    total_events = sum(p["sim_events"] for p in profiles.values())
+    report = {
+        "workloads": profiles,
+        "total_wall_clock_s": round(total_wall, 4),
+        "total_sim_events": total_events,
+        "total_events_per_sec": (
+            round(total_events / total_wall) if total_wall else 0
+        ),
+    }
+    OUT_PATH.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+    print()
+    print(json.dumps(report, indent=1, sort_keys=True))
+    assert total_events > 100_000  # the workloads really ran
+    assert OUT_PATH.exists()

@@ -9,7 +9,9 @@ APIs directly (no platform assembly):
 2. the pool is exported cross-processor (DOCA-mmap style) and the DNE
    registers it with the RNIC;
 3. a buffer's ownership token is passed function -> engine -> RNIC ->
-   remote engine -> remote function, with every stale access rejected;
+   remote engine -> remote function, with every stale access rejected —
+   and the typed dataplane Message header moves under the same
+   single-owner protocol (use-after-transfer raises at sim time);
 4. the same transfer is attempted with one-sided RDMA against an
    in-use buffer, demonstrating the data race the paper designs around.
 
@@ -17,8 +19,10 @@ Run:  python examples/zero_copy_tour.py
 """
 
 from repro.config import CostModel
+from repro.dataplane import DescriptorChain, Message, OwnershipViolation
 from repro.hw import build_cluster
 from repro.memory import (
+    BufferDescriptor,
     CrossProcessorExporter,
     OwnershipError,
     TenantMemoryRegistry,
@@ -78,15 +82,45 @@ def main():
         except OwnershipError as exc:
             print(f"token passing: {exc}")
 
-        # two-sided send: RNIC DMAs into the posted remote buffer
+        # the message header obeys the same single-owner protocol as
+        # the buffer it describes
+        message = Message(dst="fn:consumer", src="fn:producer",
+                          tenant="tenant-a", owner="fn:producer")
+        message.transfer("fn:producer", "dne:worker0")
+        try:
+            message.transfer("fn:producer", "somewhere-else")
+        except OwnershipViolation as exc:
+            print(f"header protocol: {exc}")
+
+        # a DescriptorChain moves header + every fragment in one step
+        frag0 = agent0.pool.get("fn:producer")
+        frag1 = agent0.pool.get("fn:producer")
+        frag0.write("fn:producer", "part-one", 8)
+        frag1.write("fn:producer", "part-two", 8)
+        chain = DescriptorChain(message=message.clone(owner="fn:producer"))
+        chain.append(BufferDescriptor(buffer=frag0, length=8))
+        chain.append(BufferDescriptor(buffer=frag1, length=8))
+        chain.transfer("fn:producer", "dne:worker0")
+        print(f"descriptor chain: {len(chain)} fragment(s), "
+              f"{chain.total_length} B payload, "
+              f"{chain.wire_bytes} B on the wire")
+        chain.retire("dne:worker0")  # header retired, fragments pooled
+
+        # two-sided send: RNIC DMAs into the posted remote buffer.
+        # The engine hands the header to its RNIC before posting, just
+        # like the runtime data path does.
+        message.transfer("dne:worker0", "rnic:worker0")
         wr = WorkRequest(opcode=Opcode.SEND, buffer=buf, length=11,
-                         meta={"dst": "fn:consumer"}, signaled=False)
+                         message=message, signaled=False)
         t0 = env.now
         yield from rnic0.execute(qp, wr)
         completion = rnic1.cq.try_get()
         payload = completion.buffer.read(f"rnic:worker1")
-        print(f"two-sided SEND delivered {payload!r} in {env.now - t0:.1f} us "
+        print(f"two-sided SEND delivered {payload!r} for "
+              f"{completion.message.dst!r} in {env.now - t0:.1f} us "
               f"(no software copy)")
+        completion.message.transfer("rnic:worker1", "dne:worker1")
+        completion.message.retire("dne:worker1")
 
         # -- 4. the one-sided hazard (§2.1) ------------------------------
         victim = agent1.pool.get("fn:busy-function")

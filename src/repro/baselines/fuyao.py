@@ -23,13 +23,28 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+from ..dataplane import Message
 from ..dne.engine import NetworkEngine
 from ..dne.routing import RouteError
-from ..memory import BufferDescriptor, MemoryPool, PoolExhausted, RemoteMap
+from ..memory import Buffer, BufferDescriptor, MemoryPool, PoolExhausted, RemoteMap
 from ..rdma import Completion, Opcode, WorkRequest
 from ..sim import Store
 
 __all__ = ["FuyaoEngine"]
+
+
+class _OneSidedArrival:
+    """A landed one-sided write awaiting the receiver's polling loop."""
+
+    __slots__ = ("slot", "message", "length", "tenant", "origin")
+
+    def __init__(self, slot: Buffer, message: Message, length: int,
+                 tenant: str, origin: str):
+        self.slot = slot
+        self.message = message
+        self.length = length
+        self.tenant = tenant
+        self.origin = origin
 
 
 class FuyaoEngine(NetworkEngine):
@@ -94,15 +109,17 @@ class FuyaoEngine(NetworkEngine):
         cost = self.cost
         buffer = descriptor.buffer
         buffer.check_owner(self.agent)
-        dst_fn = descriptor.meta["dst"]
+        message = descriptor.message
+        if message.owner is not None:
+            message.check_owner(self.agent)
+        dst_fn = message.dst
         try:
             dst_node = self.routes.node_for(dst_fn)
         except RouteError:
             # Destination withdrawn (failover/scale-down): drop safely.
             self.stats.dropped += 1
-            ack = descriptor.meta.get("_ack")
-            if ack is not None and not ack.triggered:
-                ack.succeed(False)
+            message.settle(False)
+            message.retire(self.agent)
             self._recycle(buffer, tenant)
             return
         peer = self.peers.get(dst_node)
@@ -119,14 +136,14 @@ class FuyaoEngine(NetworkEngine):
             buffer=buffer,
             length=descriptor.length,
             remote_buffer=slot,
-            meta={**descriptor.meta, "expected_owner": f"slots:{self.node.name}"},
+            message=message,
+            expected_owner=f"slots:{self.node.name}",
         )
         write_proc = self.rnic.post_send(qp, wr)
         self.stats.tx_messages += 1
         self.stats.tx_bytes += descriptor.length
         self.stats.tenant_meter(tenant).record(self.env.now)
 
-        meta = dict(descriptor.meta)
         length = descriptor.length
         this = self
 
@@ -135,10 +152,11 @@ class FuyaoEngine(NetworkEngine):
             # polling loop to notice it (FaRM-style poll interval).
             yield write_proc
             yield this.env.timeout(this.cost.onesided_poll_interval_us)
+            message.transfer(this.agent, peer.agent)
             peer.inject_event(
                 "onesided",
-                {"slot": slot, "meta": meta, "length": length,
-                 "tenant": tenant, "origin": this.node.name},
+                _OneSidedArrival(slot, message, length, tenant,
+                                 this.node.name),
             )
 
         self.env.process(_notify(), name=f"{self.name}-notify")
@@ -162,11 +180,12 @@ class FuyaoEngine(NetworkEngine):
         else:
             yield from super()._handle_event(event)
 
-    def _handle_onesided(self, info: Dict):
+    def _handle_onesided(self, arrival: _OneSidedArrival):
         cost = self.cost
-        slot = info["slot"]
-        tenant = info["tenant"]
-        length = info["length"]
+        slot = arrival.slot
+        tenant = arrival.tenant
+        length = arrival.length
+        message = arrival.message
         # Poll detection + the receiver-side copy out of the dedicated
         # RDMA pool into the tenant's local pool (the extra copy of
         # Fig. 2 (2)), executed on the pinned polling core.
@@ -175,6 +194,7 @@ class FuyaoEngine(NetworkEngine):
         )
         state = self._tenants.get(tenant)
         if state is None:
+            message.retire(self.agent)
             return
         try:
             buffer = state.pool.get(self.agent)
@@ -185,7 +205,7 @@ class FuyaoEngine(NetworkEngine):
         self.stats.rx_bytes += length
         # Return the slot credit to the sender (piggybacked control
         # message: one fabric hop later the sender may reuse the slot).
-        origin = info["origin"]
+        origin = arrival.origin
         peer = self.peers.get(origin)
 
         def _return_credit():
@@ -195,11 +215,13 @@ class FuyaoEngine(NetworkEngine):
                 credits.put(slot)
 
         self.env.process(_return_credit(), name=f"{self.name}-credit")
-        dst_fn = info["meta"].get("dst")
+        dst_fn = message.dst or None
         if dst_fn is None or dst_fn not in self.channel.endpoints:
+            message.retire(self.agent)
             buffer.pool.put(buffer, self.agent)
             return
         buffer.transfer(self.agent, f"fn:{dst_fn}")
         descriptor = BufferDescriptor(buffer=buffer, length=length,
-                                      meta=dict(info["meta"]))
+                                      message=message)
+        message.transfer(self.agent, f"fn:{dst_fn}")
         self.channel.dne_send(dst_fn, descriptor)

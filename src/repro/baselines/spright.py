@@ -16,8 +16,9 @@ but its inter-node data path "relies on the kernel protocol stack"
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Any
 
+from ..dataplane import Message
 from ..dne.engine import NetworkEngine
 from ..dne.routing import RouteError
 from ..memory import BufferDescriptor, PoolExhausted
@@ -27,6 +28,19 @@ __all__ = ["SprightEngine"]
 
 #: TCP/IP framing on the inter-node hop
 TCP_FRAME_OVERHEAD = 66
+
+
+class _TcpFrame:
+    """One serialized message in flight on the kernel TCP hop."""
+
+    __slots__ = ("message", "payload", "length", "tenant")
+
+    def __init__(self, message: Message, payload: Any, length: int,
+                 tenant: str):
+        self.message = message
+        self.payload = payload
+        self.length = length
+        self.tenant = tenant
 
 
 class SprightEngine(NetworkEngine):
@@ -56,17 +70,19 @@ class SprightEngine(NetworkEngine):
         cost = self.cost
         buffer = descriptor.buffer
         buffer.check_owner(self.agent)
-        dst_fn = descriptor.meta["dst"]
-        ack = descriptor.meta.get("_ack")
+        message = descriptor.message
+        if message.owner is not None:
+            message.check_owner(self.agent)
+        dst_fn = message.dst
         tel = self.env.telemetry
         span = None
         if tel is not None:
             span = tel.tracer.start_span(
-                "engine.tx", parent=descriptor.meta.get("_trace"),
+                "engine.tx", parent=message.trace,
                 category="engine", node=self.node.name, actor=self.name,
                 tenant=tenant, src=src_fn, dst=dst_fn,
                 bytes=descriptor.length)
-            descriptor.meta["_trace"] = span.context
+            message.trace = span.context
             self._charge_cycles(tel, (
                 ("protocol",
                  cost.sk_msg_interrupt_us + cost.kernel_tcp_us),
@@ -78,8 +94,8 @@ class SprightEngine(NetworkEngine):
         except RouteError:
             # Destination withdrawn (failover/scale-down): drop safely.
             self.stats.dropped += 1
-            if ack is not None and not ack.triggered:
-                ack.succeed(False)
+            message.settle(False)
+            message.retire(self.agent)
             self._recycle(buffer, tenant)
             if tel is not None:
                 tel.metrics.counter(
@@ -97,17 +113,11 @@ class SprightEngine(NetworkEngine):
             + cost.copy_time(descriptor.length)
             + cost.kernel_tcp_us
         )
-        payload = {
-            "meta": dict(descriptor.meta),
-            "payload": buffer.payload,
-            "length": descriptor.length,
-            "tenant": tenant,
-        }
+        frame = _TcpFrame(message, buffer.payload, descriptor.length, tenant)
         # Source buffer is free as soon as it is serialized to the socket.
         buffer.pool.put(buffer, self.agent)
         self.stats.recycled += 1
-        if ack is not None and not ack.triggered:
-            ack.succeed(True)  # handed to the kernel: fire-and-forget
+        message.settle(True)  # handed to the kernel: fire-and-forget
         link = self.fabric.link(self.node.name, dst_node)
         self.stats.tx_messages += 1
         self.stats.tx_bytes += descriptor.length
@@ -123,6 +133,7 @@ class SprightEngine(NetworkEngine):
                 # Peer engine is down: the kernel connection resets and
                 # the message is lost (SPRIGHT has no failover).
                 self.stats.dropped += 1
+                message.retire(self.agent)
                 if tel is not None:
                     tel.metrics.counter(
                         "engine_dropped_total",
@@ -145,7 +156,8 @@ class SprightEngine(NetworkEngine):
             )
             if tel is not None:
                 tel.tracer.end_span(span)
-            peer.inject_event("tcp", payload)
+            message.transfer(self.agent, peer.agent)
+            peer.inject_event("tcp", frame)
 
         self.env.process(_transit(), name=f"{self.name}-tcp-tx")
 
@@ -157,30 +169,32 @@ class SprightEngine(NetworkEngine):
         else:
             yield from super()._handle_event(event)
 
-    def _handle_tcp_rx(self, payload: Dict):
+    def _handle_tcp_rx(self, frame: _TcpFrame):
         cost = self.cost
+        message = frame.message
         tel = self.env.telemetry
         span = None
         if tel is not None:
             span = tel.tracer.start_span(
-                "engine.rx", parent=payload["meta"].get("_trace"),
+                "engine.rx", parent=message.trace,
                 category="engine", node=self.node.name, actor=self.name,
-                tenant=payload["tenant"], bytes=payload["length"])
+                tenant=frame.tenant, bytes=frame.length)
             self._charge_cycles(tel, (
                 ("protocol", cost.sk_msg_interrupt_us),
-                ("copy", cost.copy_time(payload["length"])),
+                ("copy", cost.copy_time(frame.length)),
                 ("descriptor", cost.dne_rx_proc_us),
             ))
         # Socket read + copy into the local pool (the kernel/softirq
         # cost was already paid in interrupt context).
         yield from self._run(
             cost.sk_msg_interrupt_us
-            + cost.copy_time(payload["length"])
+            + cost.copy_time(frame.length)
             + cost.dne_rx_proc_us
         )
-        tenant = payload["tenant"]
+        tenant = frame.tenant
         state = self._tenants.get(tenant)
         if state is None:
+            message.retire(self.agent)
             if tel is not None:
                 tel.tracer.end_span(span, status="drop")
             return
@@ -188,15 +202,16 @@ class SprightEngine(NetworkEngine):
             buffer = state.pool.get(self.agent)
         except PoolExhausted:
             buffer = yield from state.pool.get_wait(self.agent)
-        buffer.write(self.agent, payload["payload"], payload["length"])
-        dst_fn = payload["meta"].get("dst")
+        buffer.write(self.agent, frame.payload, frame.length)
+        dst_fn = message.dst or None
         self.stats.rx_messages += 1
-        self.stats.rx_bytes += payload["length"]
+        self.stats.rx_bytes += frame.length
         if tel is not None:
             tel.metrics.counter(
                 "engine_rx_total", "RX completions delivered by an engine.",
                 labels=("engine", "tenant")).labels(self.name, tenant).inc()
         if dst_fn is None or dst_fn not in self.channel.endpoints:
+            message.retire(self.agent)
             buffer.pool.put(buffer, self.agent)
             if tel is not None:
                 tel.metrics.counter(
@@ -206,9 +221,10 @@ class SprightEngine(NetworkEngine):
             return
         buffer.transfer(self.agent, f"fn:{dst_fn}")
         descriptor = BufferDescriptor(
-            buffer=buffer, length=payload["length"], meta=dict(payload["meta"])
+            buffer=buffer, length=frame.length, message=message
         )
         if tel is not None:
-            descriptor.meta["_trace"] = span.context
+            message.trace = span.context
             tel.tracer.end_span(span)
+        message.transfer(self.agent, f"fn:{dst_fn}")
         self.channel.dne_send(dst_fn, descriptor)

@@ -317,7 +317,7 @@ class NetworkEngine:
             if self._epoch != epoch:
                 self.channel.server_inbox.put_nowait((fn_id, descriptor))
                 return
-            tenant = descriptor.meta.get("tenant", "default")
+            tenant = descriptor.message.tenant or "default"
             self.scheduler.enqueue(
                 tenant, (fn_id, descriptor), nbytes=max(1, descriptor.length)
             )
@@ -394,16 +394,21 @@ class NetworkEngine:
         cost = self.cost
         buffer = descriptor.buffer
         buffer.check_owner(self.agent)
-        dst_fn = descriptor.meta["dst"]
+        message = descriptor.message
+        if message.owner is not None:
+            # Driver-built messages enter unowned and are adopted at
+            # their first transfer; protocol traffic must be ours.
+            message.check_owner(self.agent)
+        dst_fn = message.dst
         tel = self.env.telemetry
         span = None
         if tel is not None:
             span = tel.tracer.start_span(
-                "engine.tx", parent=descriptor.meta.get("_trace"),
+                "engine.tx", parent=message.trace,
                 category="engine", node=self.node.name, actor=self.name,
                 tenant=tenant, src=src_fn, dst=dst_fn,
                 bytes=descriptor.length)
-            descriptor.meta["_trace"] = span.context
+            message.trace = span.context
             self._charge_cycles(tel, self._tx_cycle_charges())
         # Ingest + routing + WR build, all on the engine's core.
         yield from self._run(
@@ -416,9 +421,8 @@ class NetworkEngine:
             # after the function posted.  Drop, recycle, nack any
             # reliability-tracked sender — never crash the loop.
             self.stats.dropped += 1
-            ack = descriptor.meta.get("_ack")
-            if ack is not None and not ack.triggered:
-                ack.succeed(False)
+            message.settle(False)
+            message.retire(self.agent)
             self._recycle(buffer, tenant)
             if tel is not None:
                 tel.metrics.counter(
@@ -432,8 +436,10 @@ class NetworkEngine:
             opcode=Opcode.SEND,
             buffer=buffer,
             length=descriptor.length,
-            meta=dict(descriptor.meta),
+            message=message,
         )
+        # Header handoff into the NIC domain; it rides the WR from here.
+        message.transfer(self.agent, f"rnic:{self.node.name}")
         if self.mode == self.MODE_ON_PATH:
             # Stage the payload host -> DPU-local memory first.  The
             # transfer queues on the (weak) SoC DMA engine; the engine
@@ -485,12 +491,17 @@ class NetworkEngine:
                         "engine_tx_errors_total",
                         "SEND completions that came back failed.",
                         labels=("engine",)).labels(self.name).inc()
-            # Reliability hook: senders running with a retry budget
-            # smuggle an ack event through the WR meta; succeed it with
-            # the completion status (False for flushed CQEs).
-            ack = completion.meta.get("_ack")
-            if ack is not None and not ack.triggered:
-                ack.succeed(completion.ok)
+            # Reliability hook: senders running with a retry budget ride
+            # an ack event on the message; settle it with the completion
+            # status (False for flushed CQEs).
+            message = completion.message
+            if message is not None:
+                message.settle(completion.ok)
+                if completion.flushed:
+                    # A flushed SEND never left this NIC: reclaim the
+                    # header so it is retired exactly once.
+                    message.transfer(f"rnic:{self.node.name}", self.agent)
+                    message.retire(self.agent)
             buffer = completion.buffer
             if buffer is not None:
                 self._recycle(buffer, completion.tenant)
@@ -499,34 +510,41 @@ class NetworkEngine:
 
     def _handle_recv(self, completion: Completion):
         cost = self.cost
+        message = completion.message
         tel = self.env.telemetry
         span = None
         if tel is not None:
             span = tel.tracer.start_span(
-                "engine.rx", parent=completion.meta.get("_trace"),
+                "engine.rx",
+                parent=message.trace if message is not None else None,
                 category="engine", node=self.node.name, actor=self.name,
                 tenant=completion.tenant or "", bytes=completion.length)
             self._charge_cycles(tel, self._rx_cycle_charges())
         yield from self._run(cost.dne_rx_proc_us + self._egress_cost_us())
         buffer = completion.buffer
         if not completion.ok:
-            # Length error: reclaim the buffer and drop.
+            # Length error: reclaim the buffer (and header) and drop.
             self.stats.dropped += 1
+            if message is not None:
+                message.transfer(f"rnic:{self.node.name}", self.agent)
+                message.retire(self.agent)
             self._recycle(buffer, completion.tenant)
             if tel is not None:
                 tel.tracer.end_span(span, status="drop")
             return
-        dst_fn = completion.meta.get("dst")
+        dst_fn = message.dst or None
         # RBR gave us the buffer; pass ownership along the token chain:
-        # RNIC -> engine -> destination function.
+        # RNIC -> engine -> destination function.  The header moves with
+        # its buffer — one object rides the request, never copied.
         buffer.transfer(f"rnic:{self.node.name}", self.agent)
+        message.transfer(f"rnic:{self.node.name}", self.agent)
         descriptor = BufferDescriptor(
-            buffer=buffer, length=completion.length, meta=dict(completion.meta)
+            buffer=buffer, length=completion.length, message=message
         )
         self.stats.rx_messages += 1
         self.stats.rx_bytes += completion.length
         if tel is not None:
-            descriptor.meta["_trace"] = span.context
+            message.trace = span.context
             tel.metrics.counter(
                 "engine_rx_total", "RX completions delivered by an engine.",
                 labels=("engine", "tenant")).labels(
@@ -534,6 +552,7 @@ class NetworkEngine:
         if dst_fn is None or dst_fn not in self.channel.endpoints:
             # Destination vanished (scale-down race): recycle and drop.
             self.stats.dropped += 1
+            message.retire(self.agent)
             self._recycle(buffer, completion.tenant)
             if tel is not None:
                 tel.metrics.counter(
@@ -542,6 +561,7 @@ class NetworkEngine:
                 tel.tracer.end_span(span, status="drop")
             return
         buffer.transfer(self.agent, f"fn:{dst_fn}")
+        message.transfer(self.agent, f"fn:{dst_fn}")
         if self.mode == self.MODE_ON_PATH:
             # Data landed in DPU-local memory: it must cross the SoC DMA
             # to the host pool before the function can see it.

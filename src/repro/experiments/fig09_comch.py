@@ -65,7 +65,7 @@ def run_channel(
         # a placeholder 16-byte descriptor (no pool needed here)
         buffer = Buffer(64)
         buffer.owner = f"fn:{fn_id}"
-        descriptor = BufferDescriptor(buffer=buffer, length=16, meta={})
+        descriptor = BufferDescriptor(buffer=buffer, length=16)
         while True:
             t0 = env.now
             yield from channel.function_send(node.cpu, fn_id, descriptor)

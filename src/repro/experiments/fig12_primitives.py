@@ -19,6 +19,7 @@ import itertools
 from typing import Dict, Optional
 
 from ..config import CostModel
+from ..dataplane import Message
 from ..hw import build_cluster
 from ..memory import MemoryPool
 from ..rdma import (
@@ -109,9 +110,12 @@ def _run_two_sided(cost: CostModel, size: int, concurrency: int,
                 yield from bench.c1.work(cost.dne_rx_proc_us + cost.dne_tx_proc_us)
                 buffer = completion.buffer
                 buffer.transfer("rnic:worker1", "dne1")
+                message = completion.message
+                message.transfer("rnic:worker1", "dne1")
                 wr = WorkRequest(opcode=Opcode.SEND, buffer=buffer,
                                  length=completion.length,
-                                 meta=dict(completion.meta))
+                                 message=message)
+                message.transfer("dne1", "rnic:worker1")
                 bench.rnic1.post_send(bench.qp_back, wr)
             elif completion.opcode == Opcode.SEND:
                 completion.buffer.pool.put(completion.buffer, "dne1")
@@ -121,9 +125,11 @@ def _run_two_sided(cost: CostModel, size: int, concurrency: int,
             completion = yield bench.rnic0.cq.get()
             if completion.is_recv:
                 yield from bench.c0.work(cost.dne_rx_proc_us)
-                event = pending.pop(completion.meta["rid"], None)
+                event = pending.pop(completion.message.rid, None)
                 buffer = completion.buffer
                 buffer.transfer("rnic:worker0", "dne0")
+                completion.message.transfer("rnic:worker0", "dne0")
+                completion.message.retire("dne0")
                 buffer.pool.put(buffer, "dne0")
                 if event is not None:
                     event.succeed()
@@ -140,7 +146,7 @@ def _run_two_sided(cost: CostModel, size: int, concurrency: int,
             event = env.event()
             pending[rid] = event
             wr = WorkRequest(opcode=Opcode.SEND, buffer=buffer, length=size,
-                             meta={"rid": rid})
+                             message=Message(rid=rid))
             bench.rnic0.post_send(bench.qp, wr)
             yield event
             bench.latency.record(env.now - t0)
@@ -187,7 +193,7 @@ def _run_onesided(cost: CostModel, size: int, concurrency: int,
                 yield from req_lock.acquire(bench.qp, holder)
             wr = WorkRequest(opcode=Opcode.WRITE, buffer=buffer, length=size,
                              remote_buffer=req_slot, signaled=False,
-                             meta={"expected_owner": f"slot{i}"})
+                             expected_owner=f"slot{i}")
             yield from bench.rnic0.execute(bench.qp, wr)
             bench.p0.put(buffer, "dne0")
             if use_lock:
@@ -208,7 +214,7 @@ def _run_onesided(cost: CostModel, size: int, concurrency: int,
                 yield from resp_lock.acquire(bench.qp_back, holder)
             wr2 = WorkRequest(opcode=Opcode.WRITE, buffer=rbuf, length=size,
                               remote_buffer=resp_slot, signaled=False,
-                              meta={"expected_owner": f"slot{i}"})
+                              expected_owner=f"slot{i}")
             yield from bench.rnic1.execute(bench.qp_back, wr2)
             bench.p1.put(rbuf, "dne1")
             if use_lock:

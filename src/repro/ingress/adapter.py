@@ -17,6 +17,7 @@ import itertools
 from typing import Dict, Optional, Tuple
 
 from ..config import CostModel
+from ..dataplane import KIND_REQUEST, VIA_SKMSG, Message
 from ..memory import BufferDescriptor, PoolExhausted
 from ..net import FStack, HttpProcessor, HttpRequest, KernelTcpStack
 from ..platform.iolib import NodeRuntime
@@ -111,27 +112,30 @@ class TcpWorkerAdapter:
             buffer = yield from pool.get_wait(self.agent)
         rid = next(_rids)
         self._pending[rid] = (ctx, complete)
-        meta = {
-            "kind": "request",
-            "rid": rid,
-            "src": self.adapter_id,
-            "dst": entry_fn,
-            "reply_to": self.adapter_id,
-            "tenant": tenant,
-            "_via": "skmsg",
-        }
+        message = Message(
+            kind=KIND_REQUEST,
+            rid=rid,
+            src=self.adapter_id,
+            dst=entry_fn,
+            reply_to=self.adapter_id,
+            tenant=tenant,
+            via=VIA_SKMSG,
+            owner=self.agent,
+        )
         buffer.write(self.agent, request.body, request.body_bytes)
-        descriptor = BufferDescriptor(buffer=buffer, length=request.body_bytes, meta=meta)
+        descriptor = BufferDescriptor(buffer=buffer, length=request.body_bytes,
+                                      message=message)
         buffer.transfer(self.agent, f"fn:{entry_fn}")
+        message.transfer(self.agent, f"fn:{entry_fn}")
         yield from self.runtime.sockmap.send(self._compute, entry_fn, descriptor)
         self.requests += 1
 
     def _handle_response(self, descriptor: BufferDescriptor):
-        meta = descriptor.meta
-        entry = self._pending.pop(meta.get("rid"), None)
+        entry = self._pending.pop(descriptor.message.rid, None)
         buffer = descriptor.buffer
         body = buffer.read(self.agent)
         length = descriptor.length
+        descriptor.message.retire(self.agent)
         buffer.pool.put(buffer, self.agent)
         if entry is None:
             return

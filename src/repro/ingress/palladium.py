@@ -22,6 +22,7 @@ import itertools
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..config import CostModel
+from ..dataplane import KIND_REQUEST, VIA_ENGINE, Message
 from ..dne.routing import InterNodeRoutes, RouteError
 from ..hw import Cluster
 from ..memory import MemoryPool, PoolExhausted
@@ -230,32 +231,37 @@ class PalladiumIngress:
                 tel.tracer.end_span(span, status="drop")
             return
         qp = yield from self.conn_mgr.get_connection(dst_node, tenant)
-        meta = {
-            "kind": "request",
-            "rid": rid,
-            "src": self.AGENT,
-            "dst": entry_fn,
-            "reply_to": self.AGENT,
-            "tenant": tenant,
-            "_via": "engine",
-        }
+        message = Message(
+            kind=KIND_REQUEST,
+            rid=rid,
+            src=self.AGENT,
+            dst=entry_fn,
+            reply_to=self.AGENT,
+            tenant=tenant,
+            via=VIA_ENGINE,
+            owner=self.AGENT,
+        )
         if span is not None:
-            meta["_trace"] = span.context
+            message.trace = span.context
         wr = WorkRequest(
             opcode=Opcode.SEND,
             buffer=buffer,
             length=request.body_bytes,
-            meta=meta,
+            message=message,
         )
+        message.transfer(self.AGENT, f"rnic:{self.node.name}")
         self.rnic.post_send(qp, wr)
 
     def _handle_response(self, worker, fstack: FStack, http: HttpProcessor, completion):
-        rid = completion.meta.get("rid")
+        rid = completion.message.rid
         entry = self._pending.pop(rid, None)
         buffer = completion.buffer
         body = buffer.read(f"rnic:{self.node.name}")
         length = completion.length
-        # Recycle the gateway receive buffer immediately after the read.
+        # The response header ends its journey here; the receive buffer
+        # is recycled immediately after the read.
+        completion.message.transfer(f"rnic:{self.node.name}", self.AGENT)
+        completion.message.retire(self.AGENT)
         buffer.pool.put(buffer, f"rnic:{self.node.name}")
         if entry is None:
             self.stats.dropped += 1
@@ -301,7 +307,7 @@ class PalladiumIngress:
         while self._running:
             completion = yield self.rnic.cq.get()
             if completion.is_recv:
-                rid = completion.meta.get("rid")
+                rid = completion.message.rid
                 owner = next(
                     (gw for gw in self.siblings if rid in gw._pending), self
                 )
@@ -312,8 +318,15 @@ class PalladiumIngress:
                 completion.buffer.pool.put(completion.buffer, self.AGENT)
                 if not completion.ok:
                     # Flushed send (peer died): the request is lost —
-                    # drop its pending entry so state does not leak.
-                    rid = completion.meta.get("rid")
+                    # reclaim the stranded header and drop the pending
+                    # entry so state does not leak.
+                    rid = None
+                    if completion.message is not None:
+                        rid = completion.message.rid
+                        if completion.flushed:
+                            completion.message.transfer(
+                                f"rnic:{self.node.name}", self.AGENT)
+                            completion.message.retire(self.AGENT)
                     for gw in self.siblings:
                         if rid in gw._pending:
                             entry = gw._pending.pop(rid, None)

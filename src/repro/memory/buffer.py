@@ -14,8 +14,9 @@ data race or use-after-free would have been on real hardware.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Optional
+
+from ..dataplane import Message
 
 __all__ = ["Buffer", "BufferDescriptor", "OwnershipError", "BufferState", "DESCRIPTOR_BYTES"]
 
@@ -83,9 +84,14 @@ class Buffer:
         self.check_owner(agent)
         return self.payload
 
-    def descriptor(self, **meta: Any) -> "BufferDescriptor":
-        """Build a descriptor naming this buffer."""
-        return BufferDescriptor(buffer=self, length=self.length, meta=dict(meta))
+    def descriptor(self, **fields: Any) -> "BufferDescriptor":
+        """Build a descriptor naming this buffer.
+
+        ``fields`` populate the typed :class:`~repro.dataplane.Message`
+        header (``dst=...``, ``tenant=...``, ...).
+        """
+        return BufferDescriptor(buffer=self, length=self.length,
+                                message=Message(**fields))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -94,26 +100,38 @@ class Buffer:
         )
 
 
-@dataclass
 class BufferDescriptor:
     """The 16-byte token exchanged over IPC / Comch / RDMA send queues.
 
-    ``meta`` carries routing fields (source/destination function ids,
-    request ids) that the real system packs into the descriptor and
-    message headers.
+    ``message`` is the typed header (routing, reliability, trace
+    context) that the real system packs into the descriptor and message
+    headers — one :class:`~repro.dataplane.Message` instance rides the
+    whole path by ownership handoff, never copied per hop.
     """
 
-    buffer: Buffer
-    length: int
-    meta: dict = field(default_factory=dict)
+    __slots__ = ("buffer", "length", "message")
+
+    def __init__(self, buffer: Buffer, length: int,
+                 message: Optional[Message] = None):
+        self.buffer = buffer
+        self.length = length
+        self.message = message if message is not None else Message()
 
     @property
     def wire_bytes(self) -> int:
         """Bytes this descriptor occupies on a channel."""
         return DESCRIPTOR_BYTES
 
-    def copy_meta(self, **extra: Any) -> "BufferDescriptor":
-        """New descriptor for the same buffer with merged metadata."""
-        merged = dict(self.meta)
-        merged.update(extra)
-        return BufferDescriptor(buffer=self.buffer, length=self.length, meta=merged)
+    def derive(self, **overrides: Any) -> "BufferDescriptor":
+        """New descriptor for the same buffer, header cloned + updated.
+
+        For reverse paths (echoing a request buffer back): the derived
+        header starts unowned and enters the ownership protocol at its
+        first transfer.
+        """
+        return BufferDescriptor(buffer=self.buffer, length=self.length,
+                                message=self.message.clone(**overrides))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<BufferDescriptor buf={self.buffer.buffer_id} "
+                f"len={self.length} {self.message!r}>")

@@ -18,9 +18,11 @@ ctx.compute(25) ... reply = yield from ctx.invoke("cart", req, 256)``.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional
 
+from ..dataplane import KIND_REQUEST, KIND_RESPONSE
+from ..dataplane import Message as Header
 from ..memory import BufferDescriptor
 from ..sim import AnyOf, Environment, Event, LatencyStats, Store
 
@@ -49,16 +51,16 @@ class FunctionSpec:
 
 @dataclass
 class Message:
-    """What a handler sees: payload + descriptor + metadata."""
+    """What a handler sees: payload + descriptor + the typed header."""
 
     payload: Any
     size: int
-    meta: Dict[str, Any]
+    header: Header
     descriptor: BufferDescriptor = None
 
     @property
     def src(self) -> str:
-        return self.meta.get("src", "?")
+        return self.header.src or "?"
 
 
 class FunctionContext:
@@ -146,6 +148,7 @@ class FunctionInstance:
             descriptor = yield self.inbox.get()
             if self.crashed:
                 self.dropped += 1
+                descriptor.message.retire(self.agent)
                 self.iolib.recycle(descriptor.buffer, self.agent)
                 continue
             # Wake-up cost depends on how the descriptor arrived.
@@ -154,18 +157,19 @@ class FunctionInstance:
             if tel is not None:
                 # Descriptor-channel wakeups are descriptor handling;
                 # the TCP fallback wakes through the kernel stack.
-                via = descriptor.meta.get("_via", "")
+                via = descriptor.message.via
                 category = "protocol" if via == "tcp" else "descriptor"
                 tel.cycles.charge(category, recv_us,
                                   where=f"recv:{self.spec.name}")
             yield from self.cpu.execute(recv_us)
-            meta = descriptor.meta
-            if meta.get("kind") == "response":
-                event = self._pending.pop(meta["rid"], None)
+            header = descriptor.message
+            if header.is_response:
+                event = self._pending.pop(header.rid, None)
                 if event is not None:
                     event.succeed(descriptor)
                 else:
                     # Response nobody awaits (caller timed out): recycle.
+                    header.retire(self.agent)
                     self.iolib.recycle(descriptor.buffer, self.agent)
             else:
                 self._requests.put(descriptor)
@@ -175,13 +179,14 @@ class FunctionInstance:
             descriptor = yield self._requests.get()
             if self.crashed:
                 self.dropped += 1
+                descriptor.message.retire(self.agent)
                 self.iolib.recycle(descriptor.buffer, self.agent)
                 continue
             started = self.env.now
             message = Message(
                 payload=descriptor.buffer.read(self.agent),
                 size=descriptor.length,
-                meta=dict(descriptor.meta),
+                header=descriptor.message,
                 descriptor=descriptor,
             )
             ctx = FunctionContext(self, message)
@@ -189,7 +194,7 @@ class FunctionInstance:
             if tel is not None:
                 ctx.span = tel.tracer.start_span(
                     f"fn.exec:{self.spec.name}",
-                    parent=message.meta.get("_trace"), category="function",
+                    parent=message.header.trace, category="function",
                     node=self.iolib.runtime.node.name, actor=self.spec.name,
                     tenant=self.spec.tenant)
             handler = self.spec.handler or _echo_handler
@@ -201,6 +206,7 @@ class FunctionInstance:
                 # worker alive and reclaim the request buffer if the
                 # handler still holds it.
                 self.failed += 1
+                message.header.retire(self.agent)
                 buffer = descriptor.buffer
                 if buffer is not None and buffer.owner == self.agent:
                     self.iolib.recycle(buffer, self.agent)
@@ -211,6 +217,10 @@ class FunctionInstance:
                         "a downstream error.", labels=("fn",)).labels(
                             self.spec.name).inc()
                 continue
+            # The request header has completed its journey: the handler
+            # either responded (reusing the buffer under a new header)
+            # or consumed the request outright.
+            message.header.retire(self.agent)
             self.handled += 1
             self.latency.record(self.env.now - started)
             if tel is not None:
@@ -230,27 +240,29 @@ class FunctionInstance:
         rid = next(_rids)
         event = self.env.event()
         self._pending[rid] = event
-        meta = {
-            "kind": "request",
-            "rid": rid,
-            "src": self.spec.name,
-            "dst": dst_fn,
-            "reply_to": self.spec.name,
-            "tenant": self.spec.tenant,
-        }
+        header = Header(
+            kind=KIND_REQUEST,
+            rid=rid,
+            src=self.spec.name,
+            dst=dst_fn,
+            reply_to=self.spec.name,
+            tenant=self.spec.tenant,
+            owner=self.agent,
+        )
         tel = self.env.telemetry
         span = None
         if tel is not None:
             # NB: no rid tag — rids come from a process-global counter,
             # and tagging them would break byte-identical exports across
-            # repeated runs in one process (the rid still rides meta).
+            # repeated runs in one process (the rid still rides the header).
             span = tel.tracer.start_span(
                 f"fn.invoke:{dst_fn}", parent=parent_span,
                 category="function", node=self.iolib.runtime.node.name,
                 actor=self.spec.name, tenant=self.spec.tenant)
-            meta["_trace"] = span.context
+            header.trace = span.context
         try:
-            yield from self.iolib.send(self.agent, dst_fn, payload, size, meta)
+            yield from self.iolib.send(self.agent, dst_fn, payload, size,
+                                       header)
         except SendError:
             if tel is not None:
                 tel.tracer.end_span(span, status="error")
@@ -276,10 +288,12 @@ class FunctionInstance:
         reply = Message(
             payload=reply_desc.buffer.read(self.agent),
             size=reply_desc.length,
-            meta=dict(reply_desc.meta),
+            header=reply_desc.message,
             descriptor=reply_desc,
         )
-        # The runtime owns the reply buffer; recycle it after the read.
+        # The runtime owns the reply; recycle the buffer after the read
+        # and retire the reply header — its journey ends here.
+        reply_desc.message.retire(self.agent)
         self.iolib.recycle(reply_desc.buffer, self.agent)
         if tel is not None:
             tel.tracer.end_span(span)
@@ -288,25 +302,26 @@ class FunctionInstance:
     def respond(self, request: Message, payload: Any, size: int,
                 parent_span=None):
         """Generator: answer ``request``, reusing its buffer (zero-copy)."""
-        meta = {
-            "kind": "response",
-            "rid": request.meta["rid"],
-            "src": self.spec.name,
-            "dst": request.meta["reply_to"],
-            "tenant": self.spec.tenant,
-        }
+        header = Header(
+            kind=KIND_RESPONSE,
+            rid=request.header.rid,
+            src=self.spec.name,
+            dst=request.header.reply_to,
+            tenant=self.spec.tenant,
+            owner=self.agent,
+        )
         tel = self.env.telemetry
         if tel is not None:
             # Thread the response into the caller's trace: under the
             # execution span when we have it, else wherever the request
             # context pointed.
             if parent_span is not None:
-                meta["_trace"] = parent_span.context
-            elif "_trace" in request.meta:
-                meta["_trace"] = request.meta["_trace"]
+                header.trace = parent_span.context
+            elif request.header.trace is not None:
+                header.trace = request.header.trace
         yield from self.iolib.send_buffer(
-            self.agent, request.meta["reply_to"], request.descriptor.buffer,
-            payload, size, meta,
+            self.agent, request.header.reply_to, request.descriptor.buffer,
+            payload, size, header,
         )
 
 

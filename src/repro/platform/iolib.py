@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Any, Dict, Optional
 
 from ..config import CostModel
+from ..dataplane import Message
 from ..dne.engine import NetworkEngine
 from ..dne.routing import IntraNodeRoutes, RouteError
 from ..hw import Node
@@ -135,32 +136,37 @@ class IoLibrary:
         self.send_failures = 0
 
     # -- send path -------------------------------------------------------------
-    def send(self, src_agent: str, dst_fn: str, payload: Any, size: int, meta: Dict,
-             timeout_us: Optional[float] = None, max_retries: int = 2):
+    def send(self, src_agent: str, dst_fn: str, payload: Any, size: int,
+             message: Message, timeout_us: Optional[float] = None,
+             max_retries: int = 2):
         """Generator: allocate a buffer, fill it, and route it to ``dst_fn``.
 
         With ``timeout_us`` set, the send is *reliable*: an ack event
-        rides the message meta and is succeeded (with the delivery
-        status) by whichever transport carries it; a nack or timeout
-        triggers a retransmission, and after ``max_retries``
-        retransmissions the failure surfaces as :class:`SendError`.
-        The default (``timeout_us=None``) path is untouched
-        fire-and-forget — no extra events, no overhead.
+        rides the message and is settled (with the delivery status) by
+        whichever transport carries it; a nack or timeout triggers a
+        retransmission (a :meth:`~repro.dataplane.Message.clone` — the
+        original instance was consumed by whatever path dropped it),
+        and after ``max_retries`` retransmissions the failure surfaces
+        as :class:`SendError`.  The default (``timeout_us=None``) path
+        is untouched fire-and-forget — no extra events, no overhead.
         """
         pool = self.runtime.pool_for(self.tenant)
         if timeout_us is None:
             buffer = yield from pool.get_wait(src_agent)
             yield from self.send_buffer(src_agent, dst_fn, buffer, payload, size,
-                                        meta, extra_cpu_us=self.cost.mempool_op_us)
+                                        message,
+                                        extra_cpu_us=self.cost.mempool_op_us)
             return
         attempts = 0
+        pristine_trace = message.trace
+        current = message
+        current.retries_left = max_retries
         while True:
             buffer = yield from pool.get_wait(src_agent)
             ack = self.env.event()
-            tracked = dict(meta)
-            tracked["_ack"] = ack
+            current.ack = ack
             yield from self.send_buffer(src_agent, dst_fn, buffer, payload, size,
-                                        tracked,
+                                        current,
                                         extra_cpu_us=self.cost.mempool_op_us)
             deadline = self.env.timeout(timeout_us)
             yield AnyOf(self.env, [ack, deadline])
@@ -175,6 +181,8 @@ class IoLibrary:
                     f"{attempts} attempts"
                 )
             self.retransmissions += 1
+            current = current.clone(owner=src_agent, trace=pristine_trace,
+                                    retries_left=max_retries - attempts)
 
     def send_buffer(
         self,
@@ -183,14 +191,15 @@ class IoLibrary:
         buffer: Buffer,
         payload: Any,
         size: int,
-        meta: Dict,
+        message: Message,
         extra_cpu_us: float = 0.0,
     ):
         """Generator: fill ``buffer`` and route it (zero-copy reuse path).
 
         The sidecar, allocator, and IPC CPU charges are batched into a
         single core claim (they execute back-to-back in the sender's
-        syscall context on the real system).
+        syscall context on the real system).  ``message`` is handed off
+        by ownership to whatever transport carries it — no per-hop copy.
         """
         buffer.write(src_agent, payload, size)
         # Logical-service resolution (elastic replicas; identity for
@@ -198,31 +207,32 @@ class IoLibrary:
         resolve = getattr(self.runtime, "resolve_service", None)
         if resolve is not None:
             dst_fn = resolve(dst_fn)
-        meta = dict(meta)
-        meta["dst"] = dst_fn
+        message.dst = dst_fn
         tel = self.env.telemetry
         if self.runtime.crosses_security_domain(self.tenant, dst_fn):
             yield from self._send_cross_domain(src_agent, dst_fn, buffer,
-                                               payload, size, meta,
+                                               payload, size, message,
                                                extra_cpu_us)
         elif self.runtime.intra_routes.is_local(dst_fn):
-            meta["_via"] = self.VIA_SKMSG
+            message.via = self.VIA_SKMSG
             span = None
             if tel is not None:
-                span = self._send_span(tel, meta, dst_fn, size, "skmsg")
+                span = self._send_span(tel, message, dst_fn, size, "skmsg")
                 tel.cycles.charge("descriptor",
                                   extra_cpu_us + self.cost.sk_msg_us,
                                   where=f"iolib:{self.runtime.node.name}")
                 tel.cycles.charge("protocol", self.runtime.sidecar_us,
                                   where="sidecar")
-            descriptor = BufferDescriptor(buffer=buffer, length=size, meta=meta)
+            descriptor = BufferDescriptor(buffer=buffer, length=size,
+                                          message=message)
             buffer.transfer(src_agent, f"fn:{dst_fn}")
+            message.transfer(src_agent, f"fn:{dst_fn}")
             yield from self.cpu.execute(
                 extra_cpu_us + self.runtime.sidecar_us + self.cost.sk_msg_us
             )
             self.runtime.sockmap.redirect(dst_fn, descriptor)
             self.intra_sends += 1
-            self._ack(meta, True)
+            message.settle(True)
             if tel is not None:
                 tel.tracer.end_span(span)
         else:
@@ -236,21 +246,23 @@ class IoLibrary:
                 # Graceful degradation (engine crashed): ship over the
                 # kernel TCP stack while the engine restarts.
                 yield from self.runtime.fallback.send(
-                    self, src_agent, dst_fn, buffer, size, meta
+                    self, src_agent, dst_fn, buffer, size, message
                 )
                 self.fallback_sends += 1
                 return
-            meta["_via"] = self.VIA_ENGINE
+            message.via = self.VIA_ENGINE
             span = None
             if tel is not None:
-                span = self._send_span(tel, meta, dst_fn, size, "engine")
+                span = self._send_span(tel, message, dst_fn, size, "engine")
                 tel.cycles.charge("descriptor",
                                   extra_cpu_us + engine.channel.fn_cpu_us,
                                   where=f"iolib:{self.runtime.node.name}")
                 tel.cycles.charge("protocol", self.runtime.sidecar_us,
                                   where="sidecar")
-            descriptor = BufferDescriptor(buffer=buffer, length=size, meta=meta)
+            descriptor = BufferDescriptor(buffer=buffer, length=size,
+                                          message=message)
             buffer.transfer(src_agent, engine.agent)
+            message.transfer(src_agent, engine.agent)
             yield from self.cpu.execute(
                 extra_cpu_us + self.runtime.sidecar_us
                 + engine.channel.fn_cpu_us
@@ -260,27 +272,21 @@ class IoLibrary:
             if tel is not None:
                 tel.tracer.end_span(span)
 
-    @staticmethod
-    def _ack(meta: Dict, ok: bool) -> None:
-        """Succeed a reliability ack riding the message meta, if any."""
-        ack = meta.get("_ack")
-        if ack is not None and not ack.triggered:
-            ack.succeed(ok)
-
-    def _send_span(self, tel, meta: Dict, dst_fn: str, size: int, via: str):
-        """Open a send span, stamp its context into ``meta``, count it."""
+    def _send_span(self, tel, message: Message, dst_fn: str, size: int,
+                   via: str):
+        """Open a send span, stamp its context on the message, count it."""
         span = tel.tracer.start_span(
-            "iolib.send", parent=meta.get("_trace"), category="iolib",
+            "iolib.send", parent=message.trace, category="iolib",
             node=self.runtime.node.name, actor=self.fn_id,
             tenant=self.tenant, dst=dst_fn, via=via, bytes=size)
-        meta["_trace"] = span.context
+        message.trace = span.context
         tel.metrics.counter(
             "iolib_sends_total", "Messages sent through the I/O library.",
             labels=("via", "tenant")).labels(via, self.tenant).inc()
         return span
 
     def _send_cross_domain(self, src_agent: str, dst_fn: str, buffer: Buffer,
-                           payload, size: int, meta: Dict,
+                           payload, size: int, message: Message,
                            extra_cpu_us: float):
         """Generator: explicit CPU copy across security domains (§3.1).
 
@@ -300,7 +306,7 @@ class IoLibrary:
         tel = self.env.telemetry
         span = None
         if tel is not None:
-            span = self._send_span(tel, meta, dst_fn, size, "xdomain")
+            span = self._send_span(tel, message, dst_fn, size, "xdomain")
             tel.cycles.charge("copy", self.cost.copy_time(size),
                               where="xdomain-copy")
             tel.cycles.charge("descriptor",
@@ -314,23 +320,25 @@ class IoLibrary:
             + self.cost.copy_time(size) + self.cost.sk_msg_us
         )
         dst_buffer.write(src_agent, payload, size)
-        meta["_via"] = self.VIA_SKMSG
-        meta["_crossed_domain"] = True
-        descriptor = BufferDescriptor(buffer=dst_buffer, length=size, meta=meta)
+        message.via = self.VIA_SKMSG
+        message.crossed_domain = True
+        descriptor = BufferDescriptor(buffer=dst_buffer, length=size,
+                                      message=message)
         dst_buffer.transfer(src_agent, f"fn:{dst_fn}")
+        message.transfer(src_agent, f"fn:{dst_fn}")
         self.runtime.sockmap.redirect(dst_fn, descriptor)
         # Sender keeps (and recycles) its own buffer: no shared memory
         # ever crossed the domain boundary.
         buffer.pool.put(buffer, src_agent)
         self.cross_domain_sends += 1
-        self._ack(meta, True)
+        message.settle(True)
         if tel is not None:
             tel.tracer.end_span(span)
 
     # -- receive path ------------------------------------------------------------
     def recv_cost_us(self, descriptor: BufferDescriptor) -> float:
         """Host-core cost of waking up for this delivery."""
-        via = descriptor.meta.get("_via", self.VIA_SKMSG)
+        via = descriptor.message.via or self.VIA_SKMSG
         if via == self.VIA_ENGINE and self.runtime.engine is not None:
             return self.runtime.engine.channel.function_recv_cost_us()
         if via == KernelTcpFallback.VIA_TCP:
@@ -369,7 +377,7 @@ class KernelTcpFallback:
         self.dropped = 0
 
     def send(self, iolib: "IoLibrary", src_agent: str, dst_fn: str,
-             buffer: Buffer, size: int, meta: Dict):
+             buffer: Buffer, size: int, message: Message):
         """Generator: carry one message over the kernel stack."""
         runtime = iolib.runtime
         cost = self.cost
@@ -377,11 +385,11 @@ class KernelTcpFallback:
         span = None
         if tel is not None:
             span = tel.tracer.start_span(
-                "iolib.send", parent=meta.get("_trace"), category="iolib",
+                "iolib.send", parent=message.trace, category="iolib",
                 node=runtime.node.name, actor=iolib.fn_id,
                 tenant=iolib.tenant, dst=dst_fn, via="tcp-fallback",
                 bytes=size)
-            meta["_trace"] = span.context
+            message.trace = span.context
             tel.metrics.counter(
                 "iolib_sends_total", "Messages sent through the I/O library.",
                 labels=("via", "tenant")).labels(
@@ -393,7 +401,8 @@ class KernelTcpFallback:
         except RouteError:
             self.dropped += 1
             buffer.pool.put(buffer, src_agent)
-            IoLibrary._ack(meta, False)
+            message.settle(False)
+            message.retire(src_agent)
             if tel is not None:
                 tel.tracer.end_span(span, status="drop")
             return
@@ -416,7 +425,8 @@ class KernelTcpFallback:
                 or not dst_runtime.intra_routes.is_local(dst_fn)):
             # Connection reset: destination node or endpoint is gone.
             self.dropped += 1
-            IoLibrary._ack(meta, False)
+            message.settle(False)
+            message.retire(src_agent)
             if tel is not None:
                 tel.tracer.end_span(span, status="drop")
             return
@@ -424,7 +434,8 @@ class KernelTcpFallback:
             dst_buffer = dst_runtime.pool_for(iolib.tenant).get(self.agent)
         except (KeyError, PoolExhausted):
             self.dropped += 1
-            IoLibrary._ack(meta, False)
+            message.settle(False)
+            message.retire(src_agent)
             if tel is not None:
                 tel.tracer.end_span(span, status="drop")
             return
@@ -439,12 +450,13 @@ class KernelTcpFallback:
             cost.kernel_tcp_us + cost.kernel_irq_us + cost.copy_time(size)
         )
         dst_buffer.write(self.agent, payload, size)
-        meta = dict(meta)
-        meta["_via"] = self.VIA_TCP
-        descriptor = BufferDescriptor(buffer=dst_buffer, length=size, meta=meta)
+        message.via = self.VIA_TCP
+        descriptor = BufferDescriptor(buffer=dst_buffer, length=size,
+                                      message=message)
         dst_buffer.transfer(self.agent, f"fn:{dst_fn}")
+        message.transfer(src_agent, f"fn:{dst_fn}")
         dst_runtime.sockmap.redirect(dst_fn, descriptor)
         self.delivered += 1
-        IoLibrary._ack(meta, True)
+        message.settle(True)
         if tel is not None:
             tel.tracer.end_span(span)

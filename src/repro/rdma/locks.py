@@ -60,8 +60,7 @@ class DistributedLock:
         """Generator: one CAS round trip, returns the old value."""
         rnic = self.fabric.rnic(qp.local_node)
         wr = WorkRequest(opcode=Opcode.CAS, compare=compare, swap=swap,
-                         signaled=False)
-        wr.meta["word"] = self.word
+                         signaled=False, word=self.word)
         completion = yield from rnic.execute(qp, wr)
         self.stats.cas_attempts += 1
         return completion.old_value

@@ -155,15 +155,19 @@ class Rnic:
         qp.sends_posted += 1
         span = None
         tel = self.env.telemetry
-        if tel is not None and "_trace" in wr.meta:
+        if tel is not None and wr.message is not None \
+                and wr.message.trace is not None:
             # The transfer span: post to completion, child of whatever
-            # posted the WR; the receive side chains off it through the
-            # context re-stamped into the WR meta.
+            # posted the WR.  For two-sided SENDs the receive side
+            # chains off it through the context re-stamped into the
+            # travelling message; one-sided ops are receiver-oblivious,
+            # so their message context is left untouched.
             span = tel.tracer.start_span(
-                f"rdma.{wr.opcode}", parent=wr.meta["_trace"],
+                f"rdma.{wr.opcode}", parent=wr.message.trace,
                 category="rdma", node=self.node, actor=f"rnic:{self.node}",
                 tenant=qp.tenant, dst=qp.remote_node, bytes=wr.length)
-            wr.meta["_trace"] = span.context
+            if wr.opcode == Opcode.SEND:
+                wr.message.trace = span.context
         return self.env.process(self._run_posted(qp, wr, span),
                                 name=f"wr{wr.wr_id}")
 
@@ -202,7 +206,7 @@ class Rnic:
                 self.flushed_cqes += 1
                 completion = Completion(
                     opcode=wr.opcode, wr_id=wr.wr_id, ok=False,
-                    buffer=wr.buffer, length=wr.length, meta=dict(wr.meta),
+                    buffer=wr.buffer, length=wr.length, message=wr.message,
                     tenant=qp.tenant, flushed=True, error=exc.cause,
                 )
         finally:
@@ -265,13 +269,18 @@ class Rnic:
         rbr_buffer = srq.rbr.consume(recv_wr_id)
         assert rbr_buffer is recv_buffer, "RBR table out of sync with shared RQ"
         agent = f"rnic:{remote.node}"
+        # The application header crosses with the payload: ownership
+        # moves from the sending NIC's domain to the receiving NIC's.
+        if wr.message is not None:
+            wr.message.transfer(f"rnic:{self.node}", agent)
         if wr.length > recv_buffer.capacity:
             # Message too large for the posted buffer: local length error.
             recv_buffer.owner = agent
             recv_buffer.state = BufferState.IN_USE
             remote.cq.put_nowait(Completion(
                 opcode=Opcode.RECV, wr_id=recv_wr_id, ok=False,
-                buffer=recv_buffer, tenant=qp.tenant, is_recv=True,
+                buffer=recv_buffer, message=wr.message, tenant=qp.tenant,
+                is_recv=True,
             ))
         else:
             recv_buffer.write(agent, wr.buffer.payload if wr.buffer else None, wr.length)
@@ -279,14 +288,16 @@ class Rnic:
             srq.consumed_since_replenish += 1
             remote.cq.put_nowait(Completion(
                 opcode=Opcode.RECV, wr_id=recv_wr_id, ok=True,
-                buffer=recv_buffer, length=wr.length, meta=dict(wr.meta),
+                buffer=recv_buffer, length=wr.length, message=wr.message,
                 tenant=qp.tenant, is_recv=True,
             ))
         # The local completion carries the source buffer so the polling
-        # engine can recycle it to the tenant pool.
+        # engine can recycle it to the tenant pool; the message rides as
+        # a reference only (it is owned by the receive side now) so the
+        # sender can settle a reliability ack.
         return Completion(opcode=Opcode.SEND, wr_id=wr.wr_id, ok=True,
                           buffer=wr.buffer, length=wr.length,
-                          meta=dict(wr.meta), tenant=qp.tenant)
+                          message=wr.message, tenant=qp.tenant)
 
     def _complete_write(self, qp: QueuePair, wr: WorkRequest, remote: "Rnic"):
         target = wr.remote_buffer
@@ -297,14 +308,14 @@ class Rnic:
         # Receiver-oblivious: the write lands regardless of who is using
         # the buffer.  Record the race window the paper describes (§2.1).
         if target.state == BufferState.IN_USE and target.owner is not None:
-            expected = wr.meta.get("expected_owner")
+            expected = wr.expected_owner
             if expected is None or target.owner != expected:
                 remote.potential_races += 1
-        target.payload = wr.buffer.payload if wr.buffer else wr.meta.get("payload")
+        target.payload = wr.buffer.payload if wr.buffer else wr.inline_payload
         target.length = wr.length
         return Completion(opcode=Opcode.WRITE, wr_id=wr.wr_id, ok=True,
                           buffer=wr.buffer, length=wr.length,
-                          meta=dict(wr.meta), tenant=qp.tenant)
+                          tenant=qp.tenant)
 
     def _complete_read(self, qp: QueuePair, wr: WorkRequest, remote: "Rnic"):
         source = wr.remote_buffer
@@ -318,12 +329,11 @@ class Rnic:
         yield from back.transmit(RDMA_HEADER_BYTES + length)
         yield from self._rx_pipe.use(self._pipe_time(length))
         return Completion(opcode=Opcode.READ, wr_id=wr.wr_id, ok=True,
-                          length=length,
-                          meta={**wr.meta, "payload": source.payload},
+                          length=length, payload=source.payload,
                           tenant=qp.tenant)
 
     def _complete_cas(self, qp: QueuePair, wr: WorkRequest, remote: "Rnic"):
-        word: AtomicWord = wr.meta["word"]
+        word: AtomicWord = wr.word
         if word.node != qp.remote_node:
             raise ValueError(
                 f"CAS target word lives on {word.node}, QP goes to {qp.remote_node}"
@@ -336,4 +346,4 @@ class Rnic:
         back = self.fabric.link(qp.remote_node, self.node)
         yield from back.transmit(RDMA_HEADER_BYTES + 8)
         return Completion(opcode=Opcode.CAS, wr_id=wr.wr_id, ok=True,
-                          old_value=old, meta={}, tenant=qp.tenant)
+                          old_value=old, tenant=qp.tenant)

@@ -4,14 +4,18 @@ Mirrors the IB-verbs objects the paper manipulates (§2.1, §3.5.2):
 work requests (WRs) are posted to a queue pair's send queue; receive
 buffers are posted to a (per-tenant, shared) receive queue; completion
 queue entries (CQEs) surface finished work to the polling engine.
+
+Both per-op classes are slotted — they are allocated on every message
+of every experiment, and the application header they carry is a typed
+:class:`~repro.dataplane.Message` handed off by ownership, not copied.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Optional
 
+from ..dataplane import Message
 from ..memory import Buffer
 
 __all__ = ["Opcode", "WorkRequest", "Completion", "RDMA_HEADER_BYTES"]
@@ -36,26 +40,52 @@ class Opcode:
     ONE_SIDED = frozenset({WRITE, READ, CAS})
 
 
-@dataclass
 class WorkRequest:
     """One unit of work posted to a queue pair.
 
-    ``meta`` carries the application header (tenant, destination
+    ``message`` carries the application header (tenant, destination
     function, request id) which the real system encodes in the payload
-    header / immediate data.
+    header / immediate data; for two-sided SENDs the RNIC hands the
+    very same instance to the receiver.
     """
 
-    opcode: str
-    buffer: Optional[Buffer] = None
-    length: int = 0
-    meta: Dict[str, Any] = field(default_factory=dict)
-    #: one-sided targets
-    remote_buffer: Optional[Buffer] = None
-    #: CAS operands
-    compare: int = 0
-    swap: int = 0
-    signaled: bool = True
-    wr_id: int = field(default_factory=lambda: next(_wr_ids))
+    __slots__ = ("opcode", "buffer", "length", "message", "remote_buffer",
+                 "compare", "swap", "signaled", "wr_id", "expected_owner",
+                 "word", "inline_payload")
+
+    def __init__(
+        self,
+        opcode: str,
+        buffer: Optional[Buffer] = None,
+        length: int = 0,
+        message: Optional[Message] = None,
+        remote_buffer: Optional[Buffer] = None,
+        compare: int = 0,
+        swap: int = 0,
+        signaled: bool = True,
+        wr_id: Optional[int] = None,
+        expected_owner: Optional[str] = None,
+        word=None,
+        inline_payload: Any = None,
+    ):
+        self.opcode = opcode
+        self.buffer = buffer
+        self.length = length
+        self.message = message
+        #: one-sided targets
+        self.remote_buffer = remote_buffer
+        #: CAS operands
+        self.compare = compare
+        self.swap = swap
+        self.signaled = signaled
+        self.wr_id = next(_wr_ids) if wr_id is None else wr_id
+        #: one-sided WRITE: the agent expected to hold the target slot
+        #: (suppresses the §2.1 race detector for ring-owned slots)
+        self.expected_owner = expected_owner
+        #: CAS target (an :class:`~repro.rdma.rnic.AtomicWord`)
+        self.word = word
+        #: WRITE without a local buffer: the inline payload to land
+        self.inline_payload = inline_payload
 
     def wire_bytes(self) -> int:
         """Bytes this WR puts on the fabric (payload + header)."""
@@ -65,26 +95,57 @@ class WorkRequest:
             return RDMA_HEADER_BYTES  # request; response carries data
         return RDMA_HEADER_BYTES + self.length
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<WorkRequest {self.opcode} wr_id={self.wr_id} "
+                f"len={self.length}>")
 
-@dataclass
+
 class Completion:
     """A completion queue entry (CQE)."""
 
-    opcode: str
-    wr_id: int
-    ok: bool = True
-    #: For receive completions: the buffer the RNIC delivered into.
-    buffer: Optional[Buffer] = None
-    length: int = 0
-    meta: Dict[str, Any] = field(default_factory=dict)
-    #: Tenant whose (shared) receive queue satisfied this arrival.
-    tenant: Optional[str] = None
-    #: For CAS: the original value read from the remote word.
-    old_value: int = 0
-    #: is this the receiver-side completion of a two-sided SEND?
-    is_recv: bool = False
-    #: True when this CQE was flushed out of an errored QP (the
-    #: IBV_WC_WR_FLUSH_ERR analogue); ``ok`` is False for these.
-    flushed: bool = False
-    #: short cause string for failed completions (debug/telemetry)
-    error: str = ""
+    __slots__ = ("opcode", "wr_id", "ok", "buffer", "length", "message",
+                 "tenant", "old_value", "payload", "is_recv", "flushed",
+                 "error")
+
+    def __init__(
+        self,
+        opcode: str,
+        wr_id: int,
+        ok: bool = True,
+        buffer: Optional[Buffer] = None,
+        length: int = 0,
+        message: Optional[Message] = None,
+        tenant: Optional[str] = None,
+        old_value: int = 0,
+        payload: Any = None,
+        is_recv: bool = False,
+        flushed: bool = False,
+        error: str = "",
+    ):
+        self.opcode = opcode
+        self.wr_id = wr_id
+        self.ok = ok
+        #: For receive completions: the buffer the RNIC delivered into.
+        self.buffer = buffer
+        self.length = length
+        #: The travelling application header.  For receive completions
+        #: it is owned by the receiving RNIC; for flushed completions it
+        #: never left and must be reclaimed (retired) by the poller.
+        self.message = message
+        #: Tenant whose (shared) receive queue satisfied this arrival.
+        self.tenant = tenant
+        #: For CAS: the original value read from the remote word.
+        self.old_value = old_value
+        #: For READ: the payload streamed back from the remote buffer.
+        self.payload = payload
+        #: is this the receiver-side completion of a two-sided SEND?
+        self.is_recv = is_recv
+        #: True when this CQE was flushed out of an errored QP (the
+        #: IBV_WC_WR_FLUSH_ERR analogue); ``ok`` is False for these.
+        self.flushed = flushed
+        #: short cause string for failed completions (debug/telemetry)
+        self.error = error
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Completion {self.opcode} wr_id={self.wr_id} ok={self.ok} "
+                f"recv={self.is_recv} flushed={self.flushed}>")

@@ -279,16 +279,21 @@ class Process(Event):
 class ConditionValue:
     """Ordered mapping of events to values produced by condition events."""
 
+    __slots__ = ("events", "_event_ids")
+
     def __init__(self, events: List[Event]):
         self.events = events
+        # Identity set for O(1) membership; events are compared by
+        # identity, never by value.
+        self._event_ids = {id(event) for event in events}
 
     def __getitem__(self, event: Event) -> Any:
-        if event not in self.events:
+        if id(event) not in self._event_ids:
             raise KeyError(event)
         return event._value
 
     def __contains__(self, event: Event) -> bool:
-        return event in self.events
+        return id(event) in self._event_ids
 
     def __len__(self) -> int:
         return len(self.events)

@@ -3,9 +3,9 @@
 Three pillars (ISSUE 2 / the paper's Fig. 4-5 methodology):
 
 ``spans``
-    Per-invocation trace contexts that ride descriptor/WR ``meta``
-    dicts through ingress -> DNE -> RDMA/Comch -> function -> response,
-    exportable as Chrome trace-event JSON (load in Perfetto).
+    Per-invocation trace contexts that ride the typed dataplane
+    message through ingress -> DNE -> RDMA/Comch -> function ->
+    response, exportable as Chrome trace-event JSON (load in Perfetto).
 ``metrics``
     Labeled counters/gauges and bounded log-linear histograms with a
     Prometheus-text and JSON snapshot exporter.

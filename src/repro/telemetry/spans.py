@@ -3,11 +3,11 @@
 A :class:`Span` is one timed operation on one (node, actor) pair; a
 trace is the tree of spans sharing a ``trace_id``, rooted at the
 ingress request (or at a driver-issued invoke).  Context propagates
-through the stack as a plain ``(trace_id, span_id)`` tuple stored
-under the ``"_trace"`` key of descriptor / work-request ``meta``
-dicts — those dicts are already copied hop-by-hop (the same channel
-``"_ack"`` events ride), so no plumbing is required beyond each layer
-re-stamping the key with its own span before forwarding.
+through the stack as a plain ``(trace_id, span_id)`` tuple carried in
+the ``trace`` field of the travelling
+:class:`~repro.dataplane.Message` (the same header the reliability
+``ack`` rides), so no plumbing is required beyond each layer
+re-stamping the field with its own span before forwarding.
 
 Export is Chrome trace-event JSON (the ``{"traceEvents": [...]}``
 object form): complete (``"X"``) events for spans, metadata (``"M"``)
@@ -26,9 +26,6 @@ import json
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 __all__ = ["Span", "SpanTracer", "validate_chrome_trace"]
-
-#: meta key carrying the (trace_id, span_id) context between hops
-TRACE_KEY = "_trace"
 
 Context = Tuple[int, int]
 
@@ -58,7 +55,7 @@ class Span:
 
     @property
     def context(self) -> Context:
-        """The ``(trace_id, span_id)`` tuple to stash in ``meta``."""
+        """The ``(trace_id, span_id)`` tuple to stamp into a message."""
         return (self.trace_id, self.span_id)
 
     @property

@@ -20,7 +20,7 @@ def make_channel(cls):
 def descriptor():
     buf = Buffer(64)
     buf.owner = "fn:a"
-    return BufferDescriptor(buffer=buf, length=16, meta={})
+    return BufferDescriptor(buffer=buf, length=16)
 
 
 # ---------------------------------------------------------------------------

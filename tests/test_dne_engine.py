@@ -58,7 +58,7 @@ def run_echo(env, cost, cluster, engines, pools, channels, n_messages=5,
             buf = desc.buffer
             buf.check_owner("fn:server")
             buf.transfer("fn:server", engines["worker1"].agent)
-            back = desc.copy_meta(dst="client", tenant="t")
+            back = desc.derive(dst="client", tenant="t")
             yield from channels["worker1"].function_send(host1, "server", back)
 
     def client():

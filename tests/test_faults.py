@@ -11,6 +11,7 @@ link flap/degrade, fault plans/injectors, and ingress health checks.
 import pytest
 
 from repro.config import CostModel
+from repro.dataplane import Message
 from repro.faults import FaultEvent, FaultInjector, FaultPlan
 from repro.hw import build_cluster
 from repro.memory import MemoryPool
@@ -296,7 +297,7 @@ def test_reliable_send_succeeds_without_retransmission():
 
     def body():
         yield from client.iolib.send("fn:client", "server", "ping", 64,
-                                     {"tenant": "t1"},
+                                     Message(tenant="t1"),
                                      timeout_us=20_000.0)
 
     drive(env, body)
@@ -317,7 +318,7 @@ def test_reliable_send_retry_exhaustion_is_tenant_visible():
         plat.coordinator.function_terminated("server")
         try:
             yield from client.iolib.send("fn:client", "server", "ping", 64,
-                                         {"tenant": "t1"},
+                                         Message(tenant="t1"),
                                          timeout_us=5_000.0,
                                          max_retries=2)
         except SendError as exc:
@@ -421,7 +422,7 @@ def test_crashed_instance_drops_traffic_until_recover():
         baseline["free"] = pool.free_count
         server.crash()
         yield from client.iolib.send("fn:client", "server", "x", 64,
-                                     {"tenant": "t1"})
+                                     Message(tenant="t1"))
         yield env.timeout(20_000)
 
     drive(env, body)

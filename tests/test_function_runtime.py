@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro.dataplane import KIND_RESPONSE, VIA_SKMSG
+from repro.dataplane import Message as Header
 from repro.memory import Buffer, BufferDescriptor
 from repro.platform import ChainSpec, FunctionSpec, Message, ServerlessPlatform, Tenant
 from repro.sim import Environment
@@ -18,9 +20,9 @@ def make_pair(handler=None, **spec_kwargs):
 
 
 def test_message_src_property():
-    msg = Message(payload="x", size=1, meta={"src": "alice"})
+    msg = Message(payload="x", size=1, header=Header(src="alice"))
     assert msg.src == "alice"
-    assert Message(payload="x", size=1, meta={}).src == "?"
+    assert Message(payload="x", size=1, header=Header()).src == "?"
 
 
 def test_chain_spec_exchange_count():
@@ -48,7 +50,9 @@ def test_handler_sees_request_metadata():
     seen = {}
 
     def handler(ctx, msg):
-        seen.update(msg.meta)
+        seen["src"] = msg.header.src
+        seen["reply_to"] = msg.header.reply_to
+        seen["kind"] = msg.header.kind
         seen["payload"] = msg.payload
         seen["size"] = msg.size
         yield from ctx.respond("ok", 8)
@@ -115,10 +119,11 @@ def test_unsolicited_response_recycled():
         yield env.timeout(5_000)
         buf = pool.get("fn:server")
         buf.write("fn:server", "ghost", 5)
-        meta = {"kind": "response", "rid": 999_999_999, "dst": "client",
-                "tenant": "t1", "_via": "skmsg"}
-        descriptor = BufferDescriptor(buffer=buf, length=5, meta=meta)
+        header = Header(kind=KIND_RESPONSE, rid=999_999_999, dst="client",
+                        tenant="t1", via=VIA_SKMSG, owner="fn:server")
+        descriptor = BufferDescriptor(buffer=buf, length=5, message=header)
         buf.transfer("fn:server", "fn:client")
+        header.transfer("fn:server", "fn:client")
         plat.runtimes["worker0"].sockmap.redirect("client", descriptor)
 
     env.process(body())

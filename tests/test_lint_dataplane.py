@@ -1,0 +1,93 @@
+"""The dataplane lint: no untyped meta plumbing outside repro.dataplane."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "tools"))
+
+from lint_dataplane import check_file, check_tree  # noqa: E402
+
+
+def _violations(tmp_path, source, name="mod.py"):
+    path = tmp_path / name
+    path.write_text(source)
+    return check_file(path)
+
+
+def test_repo_source_tree_is_clean():
+    assert check_tree([REPO / "src" / "repro"]) == []
+
+
+def test_flags_meta_attribute_access(tmp_path):
+    vs = _violations(tmp_path, "x = descriptor.meta\n")
+    assert len(vs) == 1
+    assert ".meta" in vs[0][3]
+
+
+def test_flags_meta_keyword_argument(tmp_path):
+    vs = _violations(tmp_path, "wr = WorkRequest(opcode=1, meta={'dst': 'f'})\n")
+    assert len(vs) == 1
+    assert "meta=" in vs[0][3]
+
+
+def test_flags_per_hop_dict_copy(tmp_path):
+    vs = _violations(tmp_path, "header = dict(meta)\n")
+    assert any("dict(meta)" in v[3] for v in vs)
+    vs = _violations(tmp_path, "header = dict(descriptor.meta)\n")
+    # both the .meta access and the dict() copy are reported
+    assert len(vs) == 2
+
+
+def test_flags_underscore_key_subscript(tmp_path):
+    vs = _violations(tmp_path, "t = meta_dict['_trace']\n")
+    assert len(vs) == 1
+    assert "'_trace'" in vs[0][3]
+
+
+def test_flags_underscore_key_get(tmp_path):
+    vs = _violations(tmp_path, "ack = d.get('_ack')\n")
+    assert len(vs) == 1
+    assert "'_ack'" in vs[0][3]
+    vs = _violations(tmp_path, "via = d.pop('_via', None)\n")
+    assert len(vs) == 1
+
+
+def test_dataplane_package_is_exempt(tmp_path):
+    pkg = tmp_path / "dataplane"
+    pkg.mkdir()
+    path = pkg / "message.py"
+    path.write_text("x = d['_trace']\n")
+    assert check_file(path) == []
+
+
+def test_clean_source_passes(tmp_path):
+    vs = _violations(
+        tmp_path,
+        "from repro.dataplane import Message\n"
+        "msg = Message(dst='fn')\n"
+        "msg.trace = None\n"
+        "meta_unrelated = {'key': 1}\n"
+        "y = meta_unrelated['key']\n",
+    )
+    assert vs == []
+
+
+def test_cli_entrypoint_green_on_repo():
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "tools" / "lint_dataplane.py")],
+        capture_output=True, text=True, cwd=REPO,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_cli_entrypoint_fails_on_violation(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("x = d['_crossed_domain']\n")
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "tools" / "lint_dataplane.py"), str(bad)],
+        capture_output=True, text=True,
+    )
+    assert proc.returncode == 1
+    assert "_crossed_domain" in proc.stdout

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.dataplane import Message
 from repro.memory import (
     Buffer,
     BufferDescriptor,
@@ -77,15 +78,17 @@ def test_descriptor_wire_size():
     desc = buf.descriptor(dst="b")
     assert desc.wire_bytes == DESCRIPTOR_BYTES
     assert desc.length == 4
-    assert desc.meta["dst"] == "b"
+    assert desc.message.dst == "b"
 
 
-def test_descriptor_copy_meta_merges():
-    desc = BufferDescriptor(buffer=Buffer(8), length=1, meta={"a": 1})
-    copy = desc.copy_meta(b=2)
-    assert copy.meta == {"a": 1, "b": 2}
-    assert desc.meta == {"a": 1}
-    assert copy.buffer is desc.buffer
+def test_descriptor_derive_overrides():
+    desc = BufferDescriptor(buffer=Buffer(8), length=1,
+                            message=Message(src="a"))
+    derived = desc.derive(dst="b")
+    assert derived.message.src == "a" and derived.message.dst == "b"
+    assert desc.message.dst == ""
+    assert derived.message is not desc.message
+    assert derived.buffer is desc.buffer
 
 
 # ---------------------------------------------------------------------------

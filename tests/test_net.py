@@ -141,7 +141,7 @@ def test_http_processor_charges():
 def _descriptor():
     buf = Buffer(64)
     buf.owner = "fn:a"
-    return BufferDescriptor(buffer=buf, length=16, meta={})
+    return BufferDescriptor(buffer=buf, length=16)
 
 
 def test_sockmap_register_and_redirect():

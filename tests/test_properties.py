@@ -257,3 +257,143 @@ def test_fault_stream_never_perturbs_workload_draws(seed, burn):
         faulty.faults().random()
     assert ([clean.stream("workload").random() for _ in range(16)]
             == [faulty.stream("workload").random() for _ in range(16)])
+
+
+# ---------------------------------------------------------------------------
+# Dataplane message: single-owner transfer/retire protocol
+# ---------------------------------------------------------------------------
+
+from repro.config import CostModel  # noqa: E402
+from repro.dataplane import Message, OwnershipViolation  # noqa: E402
+from repro.hw import build_cluster  # noqa: E402
+from repro.rdma import (  # noqa: E402
+    ConnectionManager,
+    Opcode,
+    RdmaFabric,
+    WorkRequest,
+)
+
+_AGENTS = st.sampled_from(["fn:a", "fn:b", "dne:w0", "rnic:w0", "ingress"])
+
+
+@given(st.lists(_AGENTS, min_size=1, max_size=12))
+def test_message_has_exactly_one_owner_at_any_instant(hops):
+    """After every handoff exactly one agent passes check_owner."""
+    universe = ["fn:a", "fn:b", "dne:w0", "rnic:w0", "ingress"]
+    msg = Message(rid=1, owner=hops[0])
+    current = hops[0]
+    for nxt in hops[1:]:
+        msg.transfer(current, nxt)
+        current = nxt
+        owners = []
+        for agent in universe:
+            try:
+                msg.check_owner(agent)
+                owners.append(agent)
+            except OwnershipViolation:
+                pass
+        assert owners == [current]
+
+
+@given(st.lists(_AGENTS, min_size=2, max_size=10, unique=True))
+def test_message_use_after_transfer_raises(chain):
+    """Every stale holder is locked out of transfer AND retire."""
+    msg = Message(rid=2, owner=chain[0])
+    for prev, nxt in zip(chain, chain[1:]):
+        msg.transfer(prev, nxt)
+    for stale in chain[:-1]:
+        try:
+            msg.transfer(stale, "thief")
+            assert False, "stale transfer accepted"
+        except OwnershipViolation:
+            pass
+        try:
+            msg.retire(stale)
+            assert False, "stale retire accepted"
+        except OwnershipViolation:
+            pass
+    msg.retire(chain[-1])
+
+
+@given(_AGENTS, _AGENTS)
+def test_message_double_retire_raises(first, second):
+    msg = Message(rid=3, owner=first)
+    msg.retire(first)
+    try:
+        msg.retire(second)
+        assert False, "double retire accepted"
+    except OwnershipViolation:
+        pass
+    # a retired message also rejects any further handoff
+    try:
+        msg.transfer(first, second)
+        assert False, "use after retire accepted"
+    except OwnershipViolation:
+        pass
+
+
+@given(_AGENTS)
+def test_unowned_message_is_adopted_by_first_transfer(adopter):
+    """Driver-built headers enter the protocol at their first handoff."""
+    msg = Message(rid=4)
+    assert msg.owner is None
+    msg.transfer("whoever", adopter)
+    assert msg.owner == adopter
+    # from then on the protocol is strict
+    try:
+        msg.transfer("whoever", "elsewhere")
+        assert False
+    except OwnershipViolation:
+        pass
+
+
+@given(st.integers(min_value=1, max_value=8))
+@settings(max_examples=10, deadline=None)
+def test_fault_flushed_cqes_retire_exactly_once(n_posts):
+    """Messages on fault-flushed WRs are reclaimed by the poller once."""
+    env = Environment()
+    cost = CostModel()
+    cluster = build_cluster(env, cost)
+    fabric = RdmaFabric(env, cluster, cost)
+    r0 = fabric.install_rnic("worker0")
+    fabric.install_rnic("worker1")
+    cm = ConnectionManager(env, fabric, "worker0", cost)
+    holder = {}
+
+    def setup():
+        holder["qps"] = yield from cm.warm_up("worker1", "t", 1)
+
+    env.process(setup())
+    env.run()
+    qp = holder["qps"][0]
+    cm.fail_connections(cause="injected")
+
+    messages = []
+    for i in range(n_posts):
+        # the engine hands each header to its RNIC before posting
+        message = Message(rid=i, owner="dne:w0")
+        message.transfer("dne:w0", "rnic:worker0")
+        messages.append(message)
+        r0.post_send(qp, WorkRequest(opcode=Opcode.SEND, length=8,
+                                     message=message))
+    env.run()
+
+    flushed = []
+    while True:
+        completion = r0.cq.try_get()
+        if completion is None:
+            break
+        assert completion.flushed and not completion.ok
+        flushed.append(completion)
+    assert len(flushed) == n_posts
+    for completion in flushed:
+        # poller reclaims: transfer off the dead QP, retire exactly once
+        completion.message.transfer("rnic:worker0", "dne:w0")
+        completion.message.retire("dne:w0")
+    for message in messages:
+        assert message.retired
+        try:
+            message.retire("dne:w0")
+            assert False, "double retire accepted"
+        except OwnershipViolation:
+            pass

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.config import CostModel
+from repro.dataplane import Message
 from repro.hw import build_cluster
 from repro.memory import BufferState, MemoryPool
 from repro.rdma import (
@@ -137,7 +138,7 @@ def test_send_delivers_payload_into_posted_buffer():
 
     def sender():
         wr = WorkRequest(opcode=Opcode.SEND, buffer=src, length=5,
-                         meta={"dst": "fn-b"})
+                         message=Message(dst="fn-b"))
         yield from r0.execute(qp, wr)
 
     env.process(sender())
@@ -146,7 +147,7 @@ def test_send_delivers_payload_into_posted_buffer():
     assert completion.is_recv and completion.ok
     assert completion.buffer is recv_buf
     assert recv_buf.payload == "hello"
-    assert completion.meta["dst"] == "fn-b"
+    assert completion.message.dst == "fn-b"
     assert recv_buf.state == BufferState.IN_USE
 
 
@@ -235,7 +236,7 @@ def test_write_with_expected_owner_not_a_race():
     def writer():
         wr = WorkRequest(opcode=Opcode.WRITE, buffer=src, length=2,
                          remote_buffer=target,
-                         meta={"expected_owner": "slots:worker0"})
+                         expected_owner="slots:worker0")
         yield from r0.execute(qp, wr)
 
     env.process(writer())
@@ -255,7 +256,7 @@ def test_read_returns_remote_payload():
         wr = WorkRequest(opcode=Opcode.READ, remote_buffer=remote,
                          length=11, signaled=False)
         completion = yield from r0.execute(qp, wr)
-        got.append(completion.meta["payload"])
+        got.append(completion.payload)
 
     env.process(reader())
     env.run()
@@ -269,12 +270,12 @@ def test_cas_swaps_only_on_match():
     outcomes = []
 
     def caser():
-        wr = WorkRequest(opcode=Opcode.CAS, compare=0, swap=7, signaled=False)
-        wr.meta["word"] = word
+        wr = WorkRequest(opcode=Opcode.CAS, compare=0, swap=7, signaled=False,
+                         word=word)
         c = yield from r0.execute(qp, wr)
         outcomes.append(c.old_value)
-        wr2 = WorkRequest(opcode=Opcode.CAS, compare=0, swap=9, signaled=False)
-        wr2.meta["word"] = word
+        wr2 = WorkRequest(opcode=Opcode.CAS, compare=0, swap=9, signaled=False,
+                          word=word)
         c2 = yield from r0.execute(qp, wr2)
         outcomes.append(c2.old_value)
 
@@ -290,8 +291,8 @@ def test_cas_wrong_node_rejected():
     word = AtomicWord("ingress", 0)
 
     def caser():
-        wr = WorkRequest(opcode=Opcode.CAS, compare=0, swap=1, signaled=False)
-        wr.meta["word"] = word
+        wr = WorkRequest(opcode=Opcode.CAS, compare=0, swap=1, signaled=False,
+                         word=word)
         yield from r0.execute(qp, wr)
 
     env.process(caser())
@@ -434,13 +435,13 @@ def test_rc_same_qp_messages_arrive_in_order():
             src = p0.get("dne0")
             src.write("dne0", f"msg{i}", 64)
             r0.post_send(qp, WorkRequest(opcode=Opcode.SEND, buffer=src,
-                                         length=64, meta={"seq": i},
+                                         length=64, message=Message(rid=i),
                                          signaled=False))
         yield env.timeout(0)
 
     env.process(sender())
     env.run()
-    seqs = [c.meta["seq"] for c in r1.cq.items if c.is_recv]
+    seqs = [c.message.rid for c in r1.cq.items if c.is_recv]
     assert seqs == sorted(seqs) == list(range(8))
 
 

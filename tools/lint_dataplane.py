@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""AST lint: no untyped ``meta`` plumbing outside ``repro.dataplane``.
+
+PR 3 replaced the per-hop ``meta`` dicts with the typed
+:class:`repro.dataplane.Message`.  This checker keeps the old idiom
+from creeping back in.  Outside ``src/repro/dataplane/`` it rejects:
+
+* attribute access ``<expr>.meta`` (the old descriptor field);
+* ``meta=...`` keyword arguments (old WR/descriptor constructors);
+* ``dict(meta)`` / ``dict(<expr>.meta)`` per-hop header copies;
+* subscripts, ``.get(...)``, ``.pop(...)``, or ``.setdefault(...)``
+  with a legacy underscore meta-key string literal (``"_ack"``,
+  ``"_via"``, ``"_trace"``, ``"_crossed_domain"``, ``"_retries"``).
+
+Usage::
+
+    python tools/lint_dataplane.py [root ...]
+
+Exits non-zero and prints one ``path:line:col message`` per violation.
+With no arguments it checks ``src/repro`` relative to the repo root.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+#: underscore keys the old dict-based header used
+LEGACY_META_KEYS = frozenset(
+    {"_ack", "_via", "_trace", "_crossed_domain", "_retries"}
+)
+
+#: dict methods whose first string argument is a key lookup
+_KEY_METHODS = frozenset({"get", "pop", "setdefault"})
+
+#: path fragment that is allowed to talk about the wire format
+EXEMPT_PART = "dataplane"
+
+Violation = Tuple[str, int, int, str]
+
+
+class _MetaVisitor(ast.NodeVisitor):
+    def __init__(self, path: str):
+        self.path = path
+        self.violations: List[Violation] = []
+
+    def _flag(self, node: ast.AST, message: str) -> None:
+        self.violations.append(
+            (self.path, node.lineno, node.col_offset, message)
+        )
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr == "meta":
+            self._flag(node, "attribute access '.meta' (use the typed "
+                             "repro.dataplane.Message instead)")
+        self.generic_visit(node)
+
+    def visit_keyword(self, node: ast.keyword) -> None:
+        if node.arg == "meta":
+            self._flag(node.value, "keyword argument 'meta=' (pass "
+                                   "'message=' with a dataplane Message)")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        # dict(meta) / dict(x.meta): the per-hop header copy
+        if (isinstance(func, ast.Name) and func.id == "dict"
+                and len(node.args) == 1):
+            arg = node.args[0]
+            if (isinstance(arg, ast.Name) and arg.id == "meta") or (
+                    isinstance(arg, ast.Attribute) and arg.attr == "meta"):
+                self._flag(node, "per-hop 'dict(meta)' copy (ownership "
+                                 "transfer replaces header copies)")
+        # x.get("_trace") and friends
+        if (isinstance(func, ast.Attribute) and func.attr in _KEY_METHODS
+                and node.args):
+            first = node.args[0]
+            if (isinstance(first, ast.Constant)
+                    and isinstance(first.value, str)
+                    and first.value in LEGACY_META_KEYS):
+                self._flag(node, f"legacy meta key {first.value!r} via "
+                                 f".{func.attr}() (use the typed Message "
+                                 f"field)")
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        key = node.slice
+        if (isinstance(key, ast.Constant) and isinstance(key.value, str)
+                and key.value in LEGACY_META_KEYS):
+            self._flag(node, f"legacy meta key {key.value!r} subscript "
+                             f"(use the typed Message field)")
+        self.generic_visit(node)
+
+
+def _is_exempt(path: Path) -> bool:
+    return EXEMPT_PART in path.parts
+
+
+def check_file(path: Path) -> List[Violation]:
+    """Return the violations in one Python source file."""
+    if _is_exempt(path):
+        return []
+    try:
+        tree = ast.parse(path.read_text(), filename=str(path))
+    except SyntaxError as exc:  # pragma: no cover - repo should parse
+        return [(str(path), exc.lineno or 0, exc.offset or 0,
+                 f"syntax error: {exc.msg}")]
+    visitor = _MetaVisitor(str(path))
+    visitor.visit(tree)
+    return visitor.violations
+
+
+def check_tree(roots: Iterable[Path]) -> List[Violation]:
+    """Walk ``roots`` and collect violations from every .py file."""
+    violations: List[Violation] = []
+    for root in roots:
+        root = Path(root)
+        files = [root] if root.is_file() else sorted(root.rglob("*.py"))
+        for path in files:
+            violations.extend(check_file(path))
+    return violations
+
+
+def main(argv: List[str]) -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    roots = [Path(a) for a in argv] or [repo_root / "src" / "repro"]
+    violations = check_tree(roots)
+    for path, line, col, message in violations:
+        print(f"{path}:{line}:{col}: {message}")
+    if violations:
+        print(f"{len(violations)} dataplane lint violation(s)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
