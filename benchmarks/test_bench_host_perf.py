@@ -1,7 +1,8 @@
 """Bench: host-side simulator performance (wall-clock + events/sec).
 
-Times the two hottest reproduction workloads — one Fig. 16 boutique
-point and the Fig. 12 primitive sweep — and emits
+Times the hottest reproduction workloads — one Fig. 16 boutique
+point, the Fig. 12 primitive sweep, and one ext_overload saturation
+point (the QoS machinery exercised end-to-end) — and emits
 ``BENCH_host_perf.json`` so PRs touching the dataplane or the event
 loop can report their wall-clock delta.
 """
@@ -10,7 +11,7 @@ import json
 import time
 from pathlib import Path
 
-from repro.experiments import run_boutique_point, run_fig12
+from repro.experiments import run_boutique_point, run_fig12, run_overload_point
 from repro.sim import Environment
 
 OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_host_perf.json"
@@ -49,6 +50,10 @@ def test_bench_host_perf(once):
         _, profiles["fig12_primitives"] = _timed(
             run_fig12, sizes=(256, 4096), concurrency=4,
             duration_us=20_000.0,
+        )
+        _, profiles["ext_overload_palladium_2x"] = _timed(
+            run_overload_point, "palladium-dne", 2.0,
+            duration_us=60_000.0,
         )
         return profiles
 

@@ -43,6 +43,7 @@ from ..rdma import (
     RdmaFabric,
     WorkRequest,
 )
+from ..qos import CreditController, QueueBounds
 from ..sim import Environment, Event, RateMeter, Store
 
 from .comch import DescriptorChannel
@@ -148,6 +149,13 @@ class NetworkEngine:
         #: host-core-equivalent us of engine work executed (CPU
         #: accounting for Fig. 16 (4)-(6))
         self.busy_us = 0.0
+        #: credit-based backpressure window (None until ``enable_qos``
+        #: is called with credits — the default data path never pays
+        #: for flow control it did not ask for)
+        self.qos_credits: Optional[CreditController] = None
+        #: message sources whose engine-RX processing repays a credit
+        #: the *sender* acquired (e.g. the ingress gateway's agent id)
+        self._qos_credit_sources: frozenset = frozenset()
 
     # -- subclass hooks -----------------------------------------------------
     def _allocate_core(self) -> PinnedCore:
@@ -209,6 +217,84 @@ class NetworkEngine:
     def add_route(self, fn_id: str, node: str) -> None:
         """Install an inter-node route (driven by the coordinator)."""
         self.routes.set_route(fn_id, node)
+
+    # -- QoS / overload protection (repro.qos) --------------------------------
+    def qos_backlog(self) -> int:
+        """Live engine backlog: queued RX events + scheduled TX items.
+
+        The admission gate's delay estimator and the credit windows
+        both read this; it is exactly the backlog the CNE's interrupt
+        penalty already models.
+        """
+        return len(self._rx_inbox.items) + self.scheduler.pending()
+
+    def enable_qos(
+        self,
+        bounds: Optional[QueueBounds] = None,
+        credits: bool = False,
+        credit_base: int = 64,
+        credit_min: int = 4,
+        credit_low_water: Optional[int] = None,
+        credit_high_water: Optional[int] = None,
+        credit_sources: Tuple[str, ...] = (),
+    ) -> None:
+        """Opt this engine into overload protection.
+
+        ``bounds`` caps the tenant scheduler's queues (shed messages
+        are retired/recycled/nacked exactly like a no-route drop).
+        With ``credits`` the engine grants per-tenant credit windows to
+        its senders, shrinking them as that tenant's DWRR backlog grows
+        (hop-by-hop backpressure).  ``credit_sources`` lists message
+        sources (agent ids) whose credits are repaid when the *RX* side
+        of this engine processes their message — e.g. the ingress
+        gateway, which acquires against the destination engine before
+        posting the RDMA send.
+        """
+        if bounds is not None:
+            self.scheduler.configure_bounds(
+                bounds, on_drop=self._on_scheduler_drop,
+                clock=lambda: self.env.now,
+            )
+        if credits:
+            self.qos_credits = CreditController(
+                self.env,
+                base_credits=credit_base,
+                min_credits=credit_min,
+                low_water=credit_low_water,
+                high_water=credit_high_water,
+                backlog_fn=self.scheduler.backlog,
+            )
+        self._qos_credit_sources = frozenset(credit_sources)
+
+    def _on_scheduler_drop(self, tenant: str, item, nbytes: int,
+                           reason: str) -> None:
+        """A bounded queue shed one of our TX descriptors: clean up.
+
+        The descriptor was enqueued by the channel poller, so the
+        buffer and header are engine-owned here.  Mirror the no-route
+        drop path: count it, nack any reliability-tracked sender,
+        retire the header exactly once, recycle the buffer — and repay
+        the sender's credit, since this message will never reach
+        ``_handle_tx``.
+        """
+        _fn_id, descriptor = item
+        message = descriptor.message
+        self.stats.dropped += 1
+        message.settle(False)
+        message.retire(self.agent)
+        self._recycle(descriptor.buffer, tenant)
+        if self.qos_credits is not None:
+            self.qos_credits.release(tenant)
+        tel = self.env.telemetry
+        if tel is not None:
+            tel.metrics.counter(
+                "engine_dropped_total", "Messages dropped by an engine.",
+                labels=("engine", "stage")).labels(self.name, reason).inc()
+            tel.metrics.counter(
+                "qos_sched_dropped_total",
+                "Messages shed by bounded tenant queues.",
+                labels=("engine", "tenant", "policy")).labels(
+                    self.name, tenant, reason).inc()
 
     # -- lifecycle ----------------------------------------------------------------
     def start(self, warm_peers: Optional[List[Tuple[str, str]]] = None) -> None:
@@ -392,6 +478,10 @@ class NetworkEngine:
     # -- TX stage (Fig. 7) --------------------------------------------------------
     def _handle_tx(self, tenant: str, src_fn: str, descriptor: BufferDescriptor):
         cost = self.cost
+        if self.qos_credits is not None:
+            # The descriptor left the scheduler: the local sender's
+            # credit is repaid the moment the engine takes over.
+            self.qos_credits.release(tenant)
         buffer = descriptor.buffer
         buffer.check_owner(self.agent)
         message = descriptor.message
@@ -521,6 +611,12 @@ class NetworkEngine:
                 tenant=completion.tenant or "", bytes=completion.length)
             self._charge_cycles(tel, self._rx_cycle_charges())
         yield from self._run(cost.dne_rx_proc_us + self._egress_cost_us())
+        if (self.qos_credits is not None and message is not None
+                and message.src in self._qos_credit_sources):
+            # A credit-holding sender (the ingress) posted this toward
+            # us: its credit is repaid now that the RX event has been
+            # consumed, whatever happens to the message next.
+            self.qos_credits.release(message.tenant or "default")
         buffer = completion.buffer
         if not completion.ok:
             # Length error: reclaim the buffer (and header) and drop.
@@ -605,7 +701,7 @@ class CpuNetworkEngine(NetworkEngine):
         return self.node.cpu
 
     def _interrupt_penalty_us(self) -> float:
-        backlog = len(self._rx_inbox.items) + self.scheduler.pending()
+        backlog = self.qos_backlog()
         return min(
             2.0, self.cost.cne_concurrency_penalty_us * backlog
         )

@@ -13,6 +13,11 @@ from .ext_cycle_breakdown import (
     run_trace_smoke,
 )
 from .ext_fault_recovery import run_ext_fault_recovery, run_fault_point
+from .ext_overload import (
+    run_ext_overload,
+    run_overload_isolation,
+    run_overload_point,
+)
 from .fig16_boutique import run_boutique_point, run_fig16, run_table2
 from .report import from_json, load, save, to_csv, to_json
 from . import validation
@@ -32,7 +37,10 @@ __all__ = [
     "run_cycle_point",
     "run_ext_cycle_breakdown",
     "run_ext_fault_recovery",
+    "run_ext_overload",
     "run_fault_point",
+    "run_overload_isolation",
+    "run_overload_point",
     "run_trace_smoke",
     "run_fig09",
     "run_multi_ingress",

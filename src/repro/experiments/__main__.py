@@ -20,6 +20,8 @@ import time
 from . import (
     run_ext_cycle_breakdown,
     run_ext_fault_recovery,
+    run_ext_overload,
+    run_overload_isolation,
     run_fig09,
     run_fig11,
     run_fig12,
@@ -104,6 +106,14 @@ EXPERIMENTS = {
         lambda: run_ext_cycle_breakdown(
             configs=("spright", "palladium-dne"),
             clients=8, duration_us=60_000.0),
+    ),
+    "overload": (
+        lambda: [run_ext_overload(), run_overload_isolation()],
+        lambda: [
+            run_ext_overload(multipliers=(0.8, 2.0),
+                             duration_us=80_000.0),
+            run_overload_isolation(duration_us=80_000.0),
+        ],
     ),
 }
 

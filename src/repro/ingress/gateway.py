@@ -40,12 +40,19 @@ class ClientConnection:
 
 
 class GatewayStats:
-    """Aggregate gateway counters."""
+    """Aggregate gateway counters.
+
+    ``dropped`` counts every request the gateway failed to serve —
+    no-route, flushed sends, orphaned responses, and (QoS) admission
+    rejections; ``admission_rejected`` separates the deliberate sheds
+    from the failures.
+    """
 
     def __init__(self):
         self.accepted = 0
         self.completed = 0
         self.dropped = 0
+        self.admission_rejected = 0
 
 
 class GatewayWorker:

@@ -58,7 +58,12 @@ class PalladiumIngress:
         recv_buffers: int = 128,
         stats_bucket_us: float = 1_000_000.0,
         service_resolver=None,
+        qos=None,
     ):
+        #: optional :class:`repro.qos.IngressQos` — admission control +
+        #: credit-based backpressure at the edge; ``None`` (default)
+        #: keeps the request path byte-identical to the pre-QoS gateway
+        self.qos = qos
         #: optional logical-service -> replica resolution (elastic
         #: platforms); identity when not provided
         self.service_resolver = service_resolver or (lambda fn: fn)
@@ -208,6 +213,11 @@ class PalladiumIngress:
             tel.metrics.counter(
                 "ingress_requests_total", "HTTP requests accepted at the "
                 "ingress.", labels=("tenant",)).labels(tenant).inc()
+        if self.qos is not None:
+            rejected = yield from self._admission_control(
+                fstack, http, conn, request, tenant, entry_fn, span)
+            if rejected:
+                return
         pool = self.pools[tenant]
         try:
             buffer = pool.get(self.AGENT)
@@ -252,6 +262,56 @@ class PalladiumIngress:
         message.transfer(self.AGENT, f"rnic:{self.node.name}")
         self.rnic.post_send(qp, wr)
 
+    def _admission_control(self, fstack: FStack, http: HttpProcessor,
+                           conn: ClientConnection, request: HttpRequest,
+                           tenant: str, entry_fn: str, span):
+        """Generator: QoS gate before any buffer is pledged.
+
+        Returns True when the request was rejected (and the 503 is on
+        its way back to the client).  On admission this *blocks* until
+        the destination engine grants the tenant a credit — the
+        hop-by-hop backpressure that keeps the edge from burying a
+        congested engine.
+        """
+        try:
+            dst_node = self.routes.node_for(entry_fn)
+        except RouteError:
+            # Unroutable: let the normal path take its no-route drop.
+            return False
+        reason = self.qos.admit(tenant, dst_node)
+        if reason is None:
+            yield from self.qos.acquire_credit(dst_node, tenant)
+            return False
+        self.stats.dropped += 1
+        self.stats.admission_rejected += 1
+        tel = self.env.telemetry
+        if tel is not None:
+            tel.metrics.counter(
+                "ingress_dropped_total", "Requests the ingress could "
+                "not serve.", labels=("reason",)).labels(
+                    f"admission-{reason}").inc()
+            tel.metrics.counter(
+                "ingress_admission_rejected_total",
+                "Requests shed by the QoS admission gate.",
+                labels=("tenant", "reason")).labels(tenant, reason).inc()
+            tel.tracer.end_span(span, status="reject")
+        # Cheap rejection: a 503 straight off the worker core — no
+        # buffer, no RDMA, no worker-node work.  That cheapness is the
+        # whole point of admission control at the edge.
+        response = HttpResponse(status=503, body=None, body_bytes=0,
+                                request_id=request.request_id)
+        yield from http.serialize(response.wire_bytes)
+        yield from fstack.tx(response.wire_bytes)
+
+        def _transit():
+            yield from self.cluster.ether_down.transmit(response.wire_bytes)
+            if conn.open:
+                conn.inbox.put(response)
+                conn.responses_received += 1
+
+        self.env.process(_transit(), name="ingress-reject-tx")
+        return True
+
     def _handle_response(self, worker, fstack: FStack, http: HttpProcessor, completion):
         rid = completion.message.rid
         entry = self._pending.pop(rid, None)
@@ -264,7 +324,15 @@ class PalladiumIngress:
         completion.message.retire(self.AGENT)
         buffer.pool.put(buffer, f"rnic:{self.node.name}")
         if entry is None:
+            # Orphaned response: the pending entry was already reaped
+            # (flushed send, sibling takeover) — count it visibly.
             self.stats.dropped += 1
+            tel = self.env.telemetry
+            if tel is not None:
+                tel.metrics.counter(
+                    "ingress_dropped_total", "Requests the ingress could "
+                    "not serve.", labels=("reason",)).labels(
+                        "orphan-response").inc()
             return
         conn, _worker, request, t0, span = entry
         response = HttpResponse(status=200, body=body, body_bytes=length,
@@ -332,8 +400,15 @@ class PalladiumIngress:
                             entry = gw._pending.pop(rid, None)
                             gw.stats.dropped += 1
                             tel = self.env.telemetry
-                            if tel is not None and entry[4] is not None:
-                                tel.tracer.end_span(entry[4], status="error")
+                            if tel is not None:
+                                tel.metrics.counter(
+                                    "ingress_dropped_total",
+                                    "Requests the ingress could not serve.",
+                                    labels=("reason",)).labels(
+                                        "flushed-send").inc()
+                                if entry[4] is not None:
+                                    tel.tracer.end_span(entry[4],
+                                                        status="error")
                             break
 
     def _replenisher(self):

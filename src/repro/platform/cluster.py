@@ -144,6 +144,27 @@ class ServerlessPlatform:
     def pool_for(self, tenant: str, node: str) -> MemoryPool:
         return self.runtimes[node].pool_for(tenant)
 
+    # -- QoS / overload protection (repro.qos) --------------------------------
+    def enable_qos(self, bounds=None, credits: bool = False,
+                   credit_base: int = 64, credit_min: int = 4,
+                   credit_low_water: Optional[int] = None,
+                   credit_high_water: Optional[int] = None,
+                   credit_sources: Tuple[str, ...] = ()) -> None:
+        """Opt every worker engine into overload protection.
+
+        Thin fan-out over :meth:`NetworkEngine.enable_qos`; see
+        :mod:`repro.qos`.  Never called → the platform is byte-for-byte
+        the pre-QoS platform.
+        """
+        for engine in self.engines.values():
+            engine.enable_qos(
+                bounds=bounds, credits=credits,
+                credit_base=credit_base, credit_min=credit_min,
+                credit_low_water=credit_low_water,
+                credit_high_water=credit_high_water,
+                credit_sources=credit_sources,
+            )
+
     # -- deployment -----------------------------------------------------------
     def deploy(self, spec: FunctionSpec, node_name: str) -> FunctionInstance:
         """Deploy a function instance onto a worker node."""
@@ -293,12 +314,31 @@ class ServerlessPlatform:
                         labels=("engine", "event"))
         conns = m.gauge("rc_connections", "RC connection pool state.",
                         labels=("node", "state"))
+        fair = m.gauge("scheduler_fairness_ratio", "Measured weighted-"
+                       "fairness ratio (min/max normalised share).",
+                       labels=("engine",))
+        served = m.gauge("scheduler_tenant_bytes", "Per-tenant scheduler "
+                         "byte ledgers.", labels=("engine", "tenant", "dir"))
         for name, engine in self.engines.items():
             eng_busy.labels(engine.name).set(engine.busy_us)
             sch = engine.scheduler
             sched.labels(engine.name, "enqueued").set(sch.enqueued)
             sched.labels(engine.name, "dequeued").set(sch.dequeued)
+            sched.labels(engine.name, "dropped").set(sch.dropped)
             sched.labels(engine.name, "peak_backlog").set(sch.peak_backlog)
+            fair.labels(engine.name).set(sch.fairness_ratio())
+            for tenant, nbytes in sch.tenant_bytes_dequeued.items():
+                served.labels(engine.name, tenant, "dequeued").set(nbytes)
+            if engine.qos_credits is not None:
+                credit = m.gauge("engine_credits", "Credit-controller "
+                                 "lifetime counters.",
+                                 labels=("engine", "event"))
+                credit.labels(engine.name, "granted").set(
+                    engine.qos_credits.granted)
+                credit.labels(engine.name, "released").set(
+                    engine.qos_credits.released)
+                credit.labels(engine.name, "blocked").set(
+                    engine.qos_credits.blocked)
             mgr = engine.conn_mgr
             conns.labels(name, "active").set(mgr.active_count())
             conns.labels(name, "pooled").set(mgr.pooled_count())

@@ -251,6 +251,11 @@ class IoLibrary:
                 self.fallback_sends += 1
                 return
             message.via = self.VIA_ENGINE
+            if engine.qos_credits is not None:
+                # Credit-based backpressure (repro.qos): block until the
+                # engine grants this tenant a TX credit.  The engine
+                # repays it when it processes — or sheds — the message.
+                yield from engine.qos_credits.acquire(self.tenant)
             span = None
             if tel is not None:
                 span = self._send_span(tel, message, dst_fn, size, "engine")

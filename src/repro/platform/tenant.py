@@ -10,26 +10,41 @@ actual call graph is encoded in the functions' handlers).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
+
+from ..qos.policy import QOS_CLASSES, QOS_STANDARD
 
 __all__ = ["Tenant", "ChainSpec"]
 
 
 @dataclass
 class Tenant:
-    """One tenant: isolation domain + scheduling weight."""
+    """One tenant: isolation domain + scheduling weight + QoS contract."""
 
     name: str
     weight: float = 1.0
     #: per-node pool sizing
     pool_buffers: int = 512
     buffer_bytes: int = 8192
+    #: service class for graceful degradation under overload
+    #: (see :mod:`repro.qos`); only read when QoS is enabled
+    qos_class: str = QOS_STANDARD
+    #: latency budget the admission gate protects (None: no deadline)
+    deadline_us: Optional[float] = None
+    #: token-bucket rate limit at the ingress (None: unlimited)
+    rate_rps: Optional[float] = None
+    burst: Optional[int] = None
 
     def __post_init__(self):
         if self.weight <= 0:
             raise ValueError(f"tenant weight must be positive, got {self.weight}")
         if self.pool_buffers < 1:
             raise ValueError("tenant pool needs at least one buffer")
+        if self.qos_class not in QOS_CLASSES:
+            raise ValueError(
+                f"unknown QoS class {self.qos_class!r}; "
+                f"expected one of {QOS_CLASSES}"
+            )
 
 
 @dataclass

@@ -1,0 +1,96 @@
+"""QoS classes and per-tenant overload-control policy.
+
+Palladium's DWRR weights (§3.3) control *who gets bandwidth* among
+backlogged tenants; they say nothing about *what happens past
+saturation*, when every queue in the stack would otherwise grow without
+bound.  This module defines the vocabulary the overload-control
+subsystem shares: three service classes with graceful-degradation
+semantics, and a per-tenant policy bundle (class, rate limit, deadline
+budget) the admission gate enforces at the cluster edge.
+
+Classes degrade in a fixed order: under overload, best-effort traffic
+is shed first, standard next, and guaranteed tenants only reject when
+their own deadline budget is provably blown.  The mechanism is a
+per-class *headroom multiplier* on the tenant's deadline when the gate
+compares it against the estimated queueing delay — a small headroom
+makes a class flinch early, a large one makes it hold on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "QOS_GUARANTEED",
+    "QOS_STANDARD",
+    "QOS_BEST_EFFORT",
+    "QOS_CLASSES",
+    "CLASS_HEADROOM",
+    "TenantQosPolicy",
+]
+
+#: the three service classes, in shed order (last shed first)
+QOS_GUARANTEED = "guaranteed"
+QOS_STANDARD = "standard"
+QOS_BEST_EFFORT = "best-effort"
+QOS_CLASSES = (QOS_GUARANTEED, QOS_STANDARD, QOS_BEST_EFFORT)
+
+#: deadline-budget multiplier per class: the admission gate rejects a
+#: request when the estimated queueing delay exceeds
+#: ``deadline_us * CLASS_HEADROOM[qos_class]``, so a best-effort tenant
+#: starts shedding at a quarter of its budget while a guaranteed tenant
+#: rides out transients up to twice its budget.
+CLASS_HEADROOM = {
+    QOS_GUARANTEED: 2.0,
+    QOS_STANDARD: 1.0,
+    QOS_BEST_EFFORT: 0.25,
+}
+
+
+@dataclass
+class TenantQosPolicy:
+    """One tenant's admission-control contract.
+
+    ``rate_rps``/``burst`` parameterise the token bucket (``None`` rate
+    means unlimited); ``deadline_us`` is the latency budget the
+    SLO-aware gate protects (``None`` disables the deadline check).
+    """
+
+    tenant: str
+    qos_class: str = QOS_STANDARD
+    rate_rps: Optional[float] = None
+    burst: int = 32
+    deadline_us: Optional[float] = None
+
+    def __post_init__(self):
+        if self.qos_class not in QOS_CLASSES:
+            raise ValueError(
+                f"unknown QoS class {self.qos_class!r}; "
+                f"expected one of {QOS_CLASSES}"
+            )
+        if self.rate_rps is not None and self.rate_rps <= 0:
+            raise ValueError("rate_rps must be positive (or None)")
+        if self.burst < 1:
+            raise ValueError("burst must allow at least one request")
+        if self.deadline_us is not None and self.deadline_us <= 0:
+            raise ValueError("deadline_us must be positive (or None)")
+
+    @property
+    def headroom(self) -> float:
+        return CLASS_HEADROOM[self.qos_class]
+
+    @classmethod
+    def from_tenant(cls, tenant, default_deadline_us: Optional[float] = None
+                    ) -> "TenantQosPolicy":
+        """Build a policy from a platform :class:`~repro.platform.Tenant`."""
+        deadline = getattr(tenant, "deadline_us", None)
+        if deadline is None:
+            deadline = default_deadline_us
+        return cls(
+            tenant=tenant.name,
+            qos_class=getattr(tenant, "qos_class", QOS_STANDARD),
+            rate_rps=getattr(tenant, "rate_rps", None),
+            burst=getattr(tenant, "burst", None) or 32,
+            deadline_us=deadline,
+        )

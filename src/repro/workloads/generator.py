@@ -57,6 +57,8 @@ class ClosedLoopClient:
         self.latency = LatencyStats(name)
         self.completed = 0
         self.errors = 0
+        #: non-200 responses (the gateway's QoS admission gate shed us)
+        self.rejected = 0
         self.reconnects = 0
         self.disconnected = False
         self._stop = False
@@ -77,7 +79,7 @@ class ClosedLoopClient:
             self.gateway.submit(conn, request)
             response_event = conn.inbox.get()
             if self.timeout_us is None:
-                yield response_event
+                response = yield response_event
             else:
                 timeout = self.env.timeout(self.timeout_us)
                 yield AnyOf(self.env, [response_event, timeout])
@@ -93,6 +95,12 @@ class ClosedLoopClient:
                     conn = self.gateway.connect()
                     self.reconnects += 1
                     continue
+                response = response_event.value
+            if getattr(response, "status", 200) != 200:
+                # Shed at the gate (503): immediately retry, like wrk —
+                # a rejection is not a completion and records no latency.
+                self.rejected += 1
+                continue
             self.latency.record(self.env.now - t0)
             self.completed += 1
             if self.think_us:
@@ -133,7 +141,7 @@ class ClientFleet:
             client.gateway.submit(conn, request)
             response_event = conn.inbox.get()
             if client.timeout_us is None:
-                yield response_event
+                response = yield response_event
             else:
                 timeout = self.env.timeout(client.timeout_us)
                 yield AnyOf(self.env, [response_event, timeout])
@@ -147,6 +155,10 @@ class ClientFleet:
                     conn = client.gateway.connect()
                     client.reconnects += 1
                     continue
+                response = response_event.value
+            if getattr(response, "status", 200) != 200:
+                client.rejected += 1
+                continue
             client.latency.record(self.env.now - t0)
             client.completed += 1
             self.throughput.record(self.env.now)
@@ -172,6 +184,9 @@ class ClientFleet:
     def total_errors(self) -> int:
         return sum(c.errors for c in self.clients)
 
+    def total_rejected(self) -> int:
+        return sum(c.rejected for c in self.clients)
+
     def disconnected_count(self) -> int:
         return sum(1 for c in self.clients if c.disconnected)
 
@@ -196,7 +211,8 @@ class OpenLoopSource:
     def __init__(self, env: Environment, cluster: Cluster, gateway,
                  rate_rps: float, path: str = "/", body_bytes: int = 256,
                  payload: Any = "x", rng=None, name: str = "open-source",
-                 stats_bucket_us: float = 1_000_000.0):
+                 stats_bucket_us: float = 1_000_000.0,
+                 deadline_us: Optional[float] = None):
         if rate_rps <= 0:
             raise ValueError("arrival rate must be positive")
         self.env = env
@@ -208,10 +224,20 @@ class OpenLoopSource:
         self.payload = payload
         self.rng = rng
         self.name = name
+        #: SLO used to classify completions: a 200 after the deadline
+        #: is *late* (not goodput) — the distinction overload studies
+        #: are about
+        self.deadline_us = deadline_us
         self.latency = LatencyStats(name)
         self.throughput = RateMeter(name, bucket=stats_bucket_us)
+        self.goodput = RateMeter(f"{name}-good", bucket=stats_bucket_us)
         self.offered = 0
         self.completed = 0
+        #: in-deadline 200s / deadline-missing 200s / non-200 sheds
+        self.good = 0
+        self.late = 0
+        self.rejected = 0
+        self._t0: dict = {}
         self._stop = False
 
     def stop(self) -> None:
@@ -239,6 +265,7 @@ class OpenLoopSource:
             request = HttpRequest(self.path, body=self.payload,
                                   body_bytes=self.body_bytes)
             request.headers["t0"] = self.env.now
+            self._t0[request.request_id] = self.env.now
             self.offered += 1
             self.env.process(self._emit(conn, request),
                              name=f"{self.name}-tx")
@@ -253,6 +280,28 @@ class OpenLoopSource:
             response = yield conn.inbox.get()
             self.completed += 1
             self.throughput.record(self.env.now)
+            t0 = self._t0.pop(getattr(response, "request_id", None), None)
+            if getattr(response, "status", 200) != 200:
+                self.rejected += 1
+                continue
+            latency = None if t0 is None else self.env.now - t0
+            if latency is not None:
+                self.latency.record(latency)
+            if (self.deadline_us is not None and latency is not None
+                    and latency > self.deadline_us):
+                self.late += 1
+                continue
+            self.good += 1
+            self.goodput.record(self.env.now)
+
+    # -- aggregate metrics ---------------------------------------------------
+    def lost(self) -> int:
+        """Requests that never produced any response (dropped in-flight)."""
+        return len(self._t0)
+
+    def goodput_rps(self, start_us: float, end_us: float) -> float:
+        """In-deadline completions per *second* over a window."""
+        return self.goodput.rate(start_us, end_us) * 1_000_000.0
 
 
 class DirectDriver:
