@@ -10,9 +10,9 @@ outage; the no-recovery baseline keeps routing into the dead node.
 from repro.experiments import run_ext_fault_recovery
 
 
-def test_bench_ext_fault_recovery(once):
+def test_bench_ext_fault_recovery(once, jobs):
     result = once(run_ext_fault_recovery, clients=10,
-                  down_us=80_000.0, post_us=60_000.0)
+                  down_us=80_000.0, post_us=60_000.0, jobs=jobs)
     print()
     print(result)
     rows = {row[0]: row for row in result.rows}

@@ -3,9 +3,9 @@
 from repro.experiments import run_fig12
 
 
-def test_bench_fig12(once):
+def test_bench_fig12(once, jobs):
     result = once(run_fig12, sizes=(64, 256, 1024, 4096),
-                  duration_us=40_000)
+                  duration_us=40_000, jobs=jobs)
     print()
     print(result)
     two = result.find_row(variant="two-sided", size_bytes=4096)

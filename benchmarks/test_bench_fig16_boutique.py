@@ -3,8 +3,9 @@
 from repro.experiments import run_fig16
 
 
-def test_bench_fig16(once):
-    result = once(run_fig16, client_counts=(20, 80), duration_us=120_000)
+def test_bench_fig16(once, jobs):
+    result = once(run_fig16, client_counts=(20, 80), duration_us=120_000,
+                  jobs=jobs)
     print()
     print(result)
     dne = result.find_row(chain="Home Query", config="palladium-dne", clients=80)

@@ -5,9 +5,18 @@ point, the Fig. 12 primitive sweep, and one ext_overload saturation
 point (the QoS machinery exercised end-to-end) — and emits
 ``BENCH_host_perf.json`` so PRs touching the dataplane or the event
 loop can report their wall-clock delta.
+
+Methodology: events come from the kernel's native
+``Environment.events_processed`` counter (no step() monkeypatching,
+which itself distorts the hot loop); every workload runs
+``REPRO_BENCH_REPEATS`` times (default 3) and reports the fastest
+pass, which filters scheduler noise on loaded hosts.  The report is
+merged read-modify-write into ``BENCH_host_perf.json`` so the
+``kernel`` section written by test_bench_sim_kernel.py survives.
 """
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -16,42 +25,71 @@ from repro.sim import Environment
 
 OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_host_perf.json"
 
+REPEATS = max(1, int(os.environ.get("REPRO_BENCH_REPEATS", "3")))
 
-def _timed(fn, *args, **kwargs):
-    """Run ``fn`` counting simulator events; return (result, profile)."""
-    counted = {"events": 0}
-    original_step = Environment.step
 
-    def counting_step(self):
-        counted["events"] += 1
-        original_step(self)
+def merge_report(sections: dict) -> dict:
+    """Read-modify-write ``BENCH_host_perf.json``: update only the
+    given top-level sections, preserving the rest (the kernel
+    microbench and the workload bench each own their own keys)."""
+    report = {}
+    if OUT_PATH.exists():
+        try:
+            report = json.loads(OUT_PATH.read_text())
+        except ValueError:
+            report = {}
+    report.update(sections)
+    OUT_PATH.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+    return report
 
-    Environment.step = counting_step
-    t0 = time.perf_counter()
+
+def timed(fn, *args, repeats=REPEATS, **kwargs):
+    """Best-of-``repeats`` timing of ``fn``; returns (result, profile).
+
+    Events are summed over every Environment the workload creates
+    (experiments build one env per point), via the kernel's native
+    counter.
+    """
+    envs = []
+    original_init = Environment.__init__
+
+    def tracking_init(self, *a, **k):
+        original_init(self, *a, **k)
+        envs.append(self)
+
+    Environment.__init__ = tracking_init
+    best = None
     try:
-        result = fn(*args, **kwargs)
+        for _ in range(repeats):
+            envs.clear()
+            t0 = time.perf_counter()
+            result = fn(*args, **kwargs)
+            wall = time.perf_counter() - t0
+            events = sum(env.events_processed for env in envs)
+            if best is None or wall < best[1]:
+                best = (result, wall, events)
     finally:
-        wall = time.perf_counter() - t0
-        Environment.step = original_step
+        Environment.__init__ = original_init
+    result, wall, events = best
     return result, {
         "wall_clock_s": round(wall, 4),
-        "sim_events": counted["events"],
-        "events_per_sec": round(counted["events"] / wall) if wall else 0,
+        "sim_events": events,
+        "events_per_sec": round(events / wall) if wall else 0,
     }
 
 
 def test_bench_host_perf(once):
     def workload():
         profiles = {}
-        _, profiles["fig16_palladium_dne"] = _timed(
+        _, profiles["fig16_palladium_dne"] = timed(
             run_boutique_point, "palladium-dne", "Home Query",
             clients=8, duration_us=120_000.0,
         )
-        _, profiles["fig12_primitives"] = _timed(
+        _, profiles["fig12_primitives"] = timed(
             run_fig12, sizes=(256, 4096), concurrency=4,
             duration_us=20_000.0,
         )
-        _, profiles["ext_overload_palladium_2x"] = _timed(
+        _, profiles["ext_overload_palladium_2x"] = timed(
             run_overload_point, "palladium-dne", 2.0,
             duration_us=60_000.0,
         )
@@ -60,15 +98,14 @@ def test_bench_host_perf(once):
     profiles = once(workload)
     total_wall = sum(p["wall_clock_s"] for p in profiles.values())
     total_events = sum(p["sim_events"] for p in profiles.values())
-    report = {
+    report = merge_report({
         "workloads": profiles,
         "total_wall_clock_s": round(total_wall, 4),
         "total_sim_events": total_events,
         "total_events_per_sec": (
             round(total_events / total_wall) if total_wall else 0
         ),
-    }
-    OUT_PATH.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+    })
     print()
     print(json.dumps(report, indent=1, sort_keys=True))
     assert total_events > 100_000  # the workloads really ran

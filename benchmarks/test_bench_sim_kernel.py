@@ -1,0 +1,146 @@
+"""Bench: DES-kernel micro-benchmarks (events/sec on the hot paths).
+
+Exercises the scheduler's four hottest shapes in isolation, with no
+model code in the loop, so kernel regressions are visible before they
+wash out in the end-to-end workload bench:
+
+* ``event_churn``      — sync resume of already-completed events
+                         (the pooled ``completed_event`` fast path)
+* ``timeout_storm``    — many concurrent timers through the heap
+                         (Timeout free-list + flattened run loop)
+* ``process_ping_pong``— two processes alternating over Stores
+                         (``_GetEvent`` pooling + store fast paths)
+* ``condition_fanin``  — AllOf/AnyOf fan-in over timeout batches
+
+Each runs ``REPRO_BENCH_REPEATS`` times (default 3), keeps the
+fastest pass, and merges a ``kernel`` section into
+``BENCH_host_perf.json`` next to the workload numbers.
+
+CI perf-smoke gate: with ``REPRO_PERF_GATE=1`` the bench fails when
+any microbench drops below 0.7x the committed baseline's events/sec.
+"""
+
+import json
+import os
+import time
+
+from repro.sim import AllOf, AnyOf, Environment, Store
+
+from test_bench_host_perf import OUT_PATH, REPEATS, merge_report
+
+GATE_FLOOR = 0.7
+
+
+def _churn(env: Environment, n: int):
+    for _ in range(n):
+        yield env.completed_event(1)
+
+
+def _timer(env: Environment, n: int, step: float):
+    for _ in range(n):
+        yield env.timeout(step)
+
+
+def _ping(env: Environment, req: Store, rsp: Store, n: int):
+    for _ in range(n):
+        req.put_nowait(1)
+        yield rsp.get()
+
+
+def _pong(env: Environment, req: Store, rsp: Store):
+    while True:
+        yield req.get()
+        rsp.put_nowait(1)
+
+
+def _fanin(env: Environment, rounds: int, width: int):
+    for i in range(rounds):
+        yield AllOf(env, [env.timeout(d + 1.0) for d in range(width)])
+        yield AnyOf(env, [env.timeout(d + 1.0) for d in range(width)])
+
+
+def bench_event_churn():
+    # Sync resumes never reach the heap (that is the fast path under
+    # test), so the loop count is the event count here.
+    env = Environment()
+    env.process(_churn(env, 150_000), name="churn")
+    env.run()
+    return env.events_processed + 150_000
+
+
+def bench_timeout_storm():
+    env = Environment()
+    for i in range(200):
+        env.process(_timer(env, 1_000, 1.0 + i * 0.01), name=f"t{i}")
+    env.run()
+    return env.events_processed
+
+
+def bench_process_ping_pong():
+    env = Environment()
+    req, rsp = Store(env, name="req"), Store(env, name="rsp")
+    done = env.process(_ping(env, req, rsp, 60_000), name="ping")
+    env.process(_pong(env, req, rsp), name="pong")
+    env.run(until=done)
+    return env.events_processed
+
+
+def bench_condition_fanin():
+    env = Environment()
+    env.process(_fanin(env, 4_000, 8), name="fanin")
+    env.run()
+    return env.events_processed
+
+
+MICROBENCHES = {
+    "event_churn": bench_event_churn,
+    "timeout_storm": bench_timeout_storm,
+    "process_ping_pong": bench_process_ping_pong,
+    "condition_fanin": bench_condition_fanin,
+}
+
+
+def _best_of(fn, repeats=REPEATS):
+    best = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        events = fn()
+        wall = time.perf_counter() - t0
+        if best is None or wall < best[0]:
+            best = (wall, events)
+    wall, events = best
+    return {
+        "wall_clock_s": round(wall, 4),
+        "sim_events": events,
+        "events_per_sec": round(events / wall) if wall else 0,
+    }
+
+
+def test_bench_sim_kernel(once):
+    baseline = {}
+    if OUT_PATH.exists():
+        try:
+            baseline = json.loads(OUT_PATH.read_text()).get("kernel", {})
+        except ValueError:
+            pass
+
+    def workload():
+        return {name: _best_of(fn) for name, fn in MICROBENCHES.items()}
+
+    kernel = once(workload)
+    report = merge_report({"kernel": kernel})
+    print()
+    print(json.dumps({"kernel": report["kernel"]}, indent=1, sort_keys=True))
+
+    for name, profile in kernel.items():
+        assert profile["sim_events"] > 10_000, name  # it really ran
+
+    if os.environ.get("REPRO_PERF_GATE"):
+        assert baseline, "REPRO_PERF_GATE set but no committed baseline"
+        for name, profile in kernel.items():
+            floor = GATE_FLOOR * baseline[name]["events_per_sec"]
+            assert profile["events_per_sec"] >= floor, (
+                f"{name}: {profile['events_per_sec']} ev/s is below "
+                f"{GATE_FLOOR}x the committed baseline "
+                f"({baseline[name]['events_per_sec']} ev/s)"
+            )

@@ -14,6 +14,7 @@ match the benchmark harness (and EXPERIMENTS.md).
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 
@@ -55,8 +56,9 @@ EXPERIMENTS = {
                           duration_us=30_000),
     ),
     "fig12": (
-        lambda: run_fig12(duration_us=40_000),
-        lambda: run_fig12(sizes=(64, 4096), duration_us=20_000),
+        lambda jobs=None: run_fig12(duration_us=40_000, jobs=jobs),
+        lambda jobs=None: run_fig12(sizes=(64, 4096), duration_us=20_000,
+                                    jobs=jobs),
     ),
     "fig13": (
         lambda: run_fig13(duration_us=150_000),
@@ -71,10 +73,12 @@ EXPERIMENTS = {
         lambda: list(run_fig15(time_scale=1 / 480.0).values()),
     ),
     "fig16": (
-        lambda: run_fig16(client_counts=(20, 80), duration_us=120_000),
-        lambda: run_fig16(chains=("Home Query",), client_counts=(20,),
-                          configs=("palladium-dne", "spright"),
-                          duration_us=80_000),
+        lambda jobs=None: run_fig16(client_counts=(20, 80),
+                                    duration_us=120_000, jobs=jobs),
+        lambda jobs=None: run_fig16(chains=("Home Query",),
+                                    client_counts=(20,),
+                                    configs=("palladium-dne", "spright"),
+                                    duration_us=80_000, jobs=jobs),
     ),
     "table1": (run_table1, run_table1),
     "table2": (
@@ -96,10 +100,10 @@ EXPERIMENTS = {
         lambda: run_multi_ingress(duration_us=150_000),
     ),
     "fault-recovery": (
-        run_ext_fault_recovery,
-        lambda: run_ext_fault_recovery(
+        lambda jobs=None: run_ext_fault_recovery(jobs=jobs),
+        lambda jobs=None: run_ext_fault_recovery(
             configs=("palladium-dne", "palladium-dne-no-recovery"),
-            clients=8, down_us=80_000.0, post_us=60_000.0),
+            clients=8, down_us=80_000.0, post_us=60_000.0, jobs=jobs),
     ),
     "cycle-breakdown": (
         run_ext_cycle_breakdown,
@@ -108,10 +112,11 @@ EXPERIMENTS = {
             clients=8, duration_us=60_000.0),
     ),
     "overload": (
-        lambda: [run_ext_overload(), run_overload_isolation()],
-        lambda: [
+        lambda jobs=None: [run_ext_overload(jobs=jobs),
+                           run_overload_isolation()],
+        lambda jobs=None: [
             run_ext_overload(multipliers=(0.8, 2.0),
-                             duration_us=80_000.0),
+                             duration_us=80_000.0, jobs=jobs),
             run_overload_isolation(duration_us=80_000.0),
         ],
     ),
@@ -133,6 +138,10 @@ def main(argv=None) -> int:
                         help="list experiment ids and exit")
     parser.add_argument("--json", metavar="DIR", default=None,
                         help="also write results as JSON/CSV under DIR")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for sweep experiments "
+                             "(default: $REPRO_JOBS or 1 = serial; the "
+                             "merged output is byte-identical either way)")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -151,7 +160,11 @@ def main(argv=None) -> int:
         full, quick = EXPERIMENTS[name]
         started = time.time()
         print(f"\n### {name} {'(quick)' if args.quick else ''}")
-        outcome = (quick if args.quick else full)()
+        chosen = quick if args.quick else full
+        if "jobs" in inspect.signature(chosen).parameters:
+            outcome = chosen(jobs=args.jobs)
+        else:  # experiments without a sweep ignore --jobs
+            outcome = chosen()
         results = outcome if isinstance(outcome, list) else [outcome]
         for index, result in enumerate(results):
             print(result)

@@ -46,6 +46,7 @@ from ..workloads import (
     path_payload,
 )
 
+from .parallel import parallel_map
 from .runner import ExperimentResult
 
 __all__ = ["run_fault_point", "run_ext_fault_recovery", "FAULT_CONFIGS"]
@@ -189,6 +190,7 @@ def run_ext_fault_recovery(
     configs=FAULT_CONFIGS,
     clients: int = 12,
     cost: Optional[CostModel] = None,
+    jobs: Optional[int] = None,
     **point_kwargs,
 ) -> ExperimentResult:
     """Goodput through a worker-node crash, per configuration."""
@@ -198,9 +200,14 @@ def run_ext_fault_recovery(
                  "restored_pct", "recover_ms", "avail_pct",
                  "client_errors", "qp_reconnects", "flushed_cqes"],
     )
-    for config in configs:
-        m = run_fault_point(config, clients=clients, cost=cost,
-                            **point_kwargs)
+    configs = tuple(configs)
+    points = parallel_map(
+        run_fault_point,
+        [((config,), dict(clients=clients, cost=cost, **point_kwargs))
+         for config in configs],
+        jobs=jobs,
+    )
+    for config, m in zip(configs, points):
         result.add_row(config, round(m["pre_rps"]), round(m["outage_rps"]),
                        round(m["post_rps"]), round(m["restored_pct"], 1),
                        round(m["recover_ms"], 1),

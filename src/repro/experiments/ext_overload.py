@@ -40,6 +40,7 @@ from ..sim import Environment
 from ..telemetry import Telemetry
 from ..workloads import OpenLoopSource
 
+from .parallel import parallel_map
 from .runner import ExperimentResult
 
 __all__ = [
@@ -300,6 +301,7 @@ def run_ext_overload(
     duration_us: float = 200_000.0,
     warmup_us: float = 160_000.0,
     cost: Optional[CostModel] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Goodput vs offered load past saturation, per data plane."""
     result = ExperimentResult(
@@ -308,11 +310,16 @@ def run_ext_overload(
                  "pct_peak", "rejected", "late", "lost", "sched_dropped",
                  "fairness"],
     )
-    for config in configs:
-        points = [
-            run_overload_point(config, m, duration_us, warmup_us, cost)
-            for m in multipliers
-        ]
+    configs = tuple(configs)
+    multipliers = tuple(multipliers)
+    all_points = parallel_map(
+        run_overload_point,
+        [((config, m, duration_us, warmup_us, cost), {})
+         for config in configs for m in multipliers],
+        jobs=jobs,
+    )
+    for ci, config in enumerate(configs):
+        points = all_points[ci * len(multipliers):(ci + 1) * len(multipliers)]
         peak = max(p["goodput_rps"] for p in points) or 1.0
         for p in points:
             result.add_row(

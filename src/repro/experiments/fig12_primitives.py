@@ -31,6 +31,7 @@ from ..rdma import (
 )
 from ..sim import Environment, LatencyStats
 
+from .parallel import parallel_map
 from .runner import ExperimentResult
 
 __all__ = ["run_fig12", "VARIANTS"]
@@ -244,11 +245,29 @@ def run_variant(variant: str, cost: CostModel, size: int, concurrency: int,
     raise ValueError(f"unknown variant {variant!r}")
 
 
+def _fig12_cell(variant: str, size: int, concurrency: int,
+                duration_us: float, cost: CostModel) -> dict:
+    """One (variant, size) cell: latency run + throughput run.
+
+    Module-level and returning a plain dict so the sweep can fan cells
+    out to worker processes (:mod:`repro.experiments.parallel`).
+    """
+    warm = 21_000.0  # RC setup happens once at t=0 (20 ms)
+    lat_bench = run_variant(variant, cost, size, 1, warm + duration_us)
+    thr_bench = run_variant(variant, cost, size, concurrency,
+                            warm + duration_us)
+    return {
+        "mean_rtt_us": lat_bench.latency.mean(),
+        "completed": thr_bench.completed,
+    }
+
+
 def run_fig12(
     sizes=(64, 1024, 4096),
     concurrency: int = 8,
     duration_us: float = 40_000.0,
     cost: Optional[CostModel] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Reproduce Fig. 12: latency (concurrency=1) and RPS per variant."""
     cost = cost or CostModel()
@@ -256,15 +275,17 @@ def run_fig12(
         "Fig 12 - RDMA primitive selection",
         columns=["variant", "size_bytes", "mean_rtt_us", "rps"],
     )
-    warm = 21_000.0  # RC setup happens once at t=0 (20 ms)
-    for variant in VARIANTS:
-        for size in sizes:
-            lat_bench = run_variant(variant, cost, size, 1, warm + duration_us)
-            thr_bench = run_variant(variant, cost, size, concurrency,
-                                    warm + duration_us)
-            mean_rtt = lat_bench.latency.mean()
-            rps = thr_bench.completed / ((duration_us + warm - 21_000.0) / 1e6)
-            result.add_row(variant, size, round(mean_rtt, 2), round(rps))
+    grid = [(variant, size) for variant in VARIANTS for size in sizes]
+    cells = parallel_map(
+        _fig12_cell,
+        [((variant, size, concurrency, duration_us, cost), {})
+         for variant, size in grid],
+        jobs=jobs,
+    )
+    for (variant, size), cell in zip(grid, cells):
+        rps = cell["completed"] / (duration_us / 1e6)
+        result.add_row(variant, size, round(cell["mean_rtt_us"], 2),
+                       round(rps))
     result.note(
         "paper anchors @4KB RTT: two-sided 11.6, OWRC-Best 15, "
         "OWRC-Worst 16.7, OWDL 26.1 us"

@@ -49,6 +49,7 @@ from ..workloads import (
     path_payload,
 )
 
+from .parallel import parallel_map
 from .runner import ExperimentResult
 
 __all__ = ["run_fig16", "run_table2", "run_boutique_point", "CONFIGS", "EVAL_CHAINS"]
@@ -188,6 +189,7 @@ def run_fig16(
     configs=CONFIGS,
     duration_us: float = 250_000.0,
     cost: Optional[CostModel] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Reproduce Fig. 16: RPS + utilization per chain/config/clients."""
     cost = cost or CostModel()
@@ -196,16 +198,22 @@ def run_fig16(
         columns=["chain", "config", "clients", "rps", "latency_ms",
                  "engine_cpu_pct", "adapter_cpu_pct", "dpu_pct"],
     )
-    for chain in chains:
-        for config in configs:
-            for clients in client_counts:
-                m = run_boutique_point(config, chain, clients,
-                                       duration_us, cost=cost)
-                result.add_row(chain, config, clients, round(m["rps"]),
-                               round(m["latency_ms"], 2),
-                               round(m["engine_cpu_pct"]),
-                               round(m["adapter_cpu_pct"]),
-                               round(m["dpu_pct"]))
+    grid = [(chain, config, clients)
+            for chain in chains
+            for config in configs
+            for clients in client_counts]
+    points = parallel_map(
+        run_boutique_point,
+        [((config, chain, clients, duration_us), {"cost": cost})
+         for chain, config, clients in grid],
+        jobs=jobs,
+    )
+    for (chain, config, clients), m in zip(grid, points):
+        result.add_row(chain, config, clients, round(m["rps"]),
+                       round(m["latency_ms"], 2),
+                       round(m["engine_cpu_pct"]),
+                       round(m["adapter_cpu_pct"]),
+                       round(m["dpu_pct"]))
     result.note(
         "paper: DNE 5.1-20.9x NightCore, 2.1-4.1x FUYAO-F, 2.4-4.1x "
         "SPRIGHT, 1.3-1.8x CNE (>20 clients); FUYAO engine CPU >500%"

@@ -14,7 +14,6 @@ All three evaluated gateways (§4.1.3) share this scaffolding:
 
 from __future__ import annotations
 
-import itertools
 from typing import Callable, List, Optional
 
 from ..config import CostModel
@@ -23,14 +22,22 @@ from ..sim import Environment, Event, Store, TimeSeries
 
 __all__ = ["ClientConnection", "GatewayWorker", "Autoscaler", "GatewayStats"]
 
-_conn_ids = itertools.count(1)
+
+def _next_conn_id(env: Environment) -> int:
+    # Connection ids seed the RSS hash that picks a gateway worker, so
+    # they must be scoped to the simulation: a process-global counter
+    # would make a run's worker assignment depend on how many
+    # simulations ran before it in the same interpreter.
+    n = getattr(env, "_conn_id_seq", 0) + 1
+    env._conn_id_seq = n
+    return n
 
 
 class ClientConnection:
     """One external client connection terminated at the gateway."""
 
     def __init__(self, env: Environment):
-        self.conn_id = next(_conn_ids)
+        self.conn_id = _next_conn_id(env)
         self.env = env
         #: responses delivered back to the client
         self.inbox: Store = Store(env, name=f"conn{self.conn_id}")

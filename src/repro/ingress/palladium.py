@@ -18,7 +18,6 @@ pools posted to shared receive queues for response traffic.
 
 from __future__ import annotations
 
-import itertools
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..config import CostModel
@@ -34,7 +33,13 @@ from .gateway import Autoscaler, ClientConnection, GatewayStats, GatewayWorker, 
 
 __all__ = ["PalladiumIngress"]
 
-_rids = itertools.count(1_000_000)
+
+def _next_rid(env) -> int:
+    # Request ids can seed the RSS fallback hash in the completion
+    # loop, so like connection ids they are scoped per-environment.
+    n = getattr(env, "_pal_rid_seq", 1_000_000) + 1
+    env._pal_rid_seq = n
+    return n
 
 #: resolver: HTTP path -> (tenant, entry function, request body bytes ok)
 EntryResolver = Callable[[str], Tuple[str, str]]
@@ -224,7 +229,7 @@ class PalladiumIngress:
         except PoolExhausted:
             buffer = yield from pool.get_wait(self.AGENT)
         buffer.write(self.AGENT, request.body, request.body_bytes)
-        rid = next(_rids)
+        rid = _next_rid(self.env)
         self._pending[rid] = (conn, worker, request, self.env.now, span)
         try:
             dst_node = self.routes.node_for(entry_fn)

@@ -40,6 +40,9 @@ class MemoryRegionTable:
         self._regions: Dict[int, MemoryRegion] = {}  # pool id -> region
         self._next_key = 1
         self.mtt_cache_entries = mtt_cache_entries
+        #: running sum over regions; queried on every RNIC op, so it
+        #: must not be recomputed per call
+        self._total_mtt = 0
 
     def register_pool(self, pool: MemoryPool, remote_map: Optional[RemoteMap] = None) -> MemoryRegion:
         """Register ``pool`` (optionally via a cross-processor map).
@@ -62,10 +65,13 @@ class MemoryRegionTable:
         )
         self._next_key += 1
         self._regions[id(pool)] = region
+        self._total_mtt += region.mtt_entries
         return region
 
     def deregister_pool(self, pool: MemoryPool) -> None:
-        self._regions.pop(id(pool), None)
+        region = self._regions.pop(id(pool), None)
+        if region is not None:
+            self._total_mtt -= region.mtt_entries
 
     def lookup_buffer(self, buffer: Buffer) -> MemoryRegion:
         """Find the region covering ``buffer`` or raise."""
@@ -78,9 +84,9 @@ class MemoryRegionTable:
 
     @property
     def total_mtt_entries(self) -> int:
-        return sum(r.mtt_entries for r in self._regions.values())
+        return self._total_mtt
 
     @property
     def mtt_thrashing(self) -> bool:
         """True when translations exceed the on-NIC cache."""
-        return self.total_mtt_entries > self.mtt_cache_entries
+        return self._total_mtt > self.mtt_cache_entries

@@ -142,10 +142,15 @@ class Rnic:
         return self.cost.qp_thrash_penalty if penalized else 1.0
 
     def _pipe_time(self, payload_bytes: int) -> float:
-        return (
-            self.cost.rnic_op_us * self._op_penalty()
-            + self.cost.endhost_time(payload_bytes)
-        )
+        # Flattened hot path (one call per RNIC pipeline stage): the
+        # thrash test and byte cost are computed inline.
+        cost = self.cost
+        mrt = self.mrt
+        op = cost.rnic_op_us
+        if self.active_qps > cost.max_active_qps \
+                or mrt._total_mtt > mrt.mtt_cache_entries:
+            op *= cost.qp_thrash_penalty
+        return op + payload_bytes * cost.endhost_per_byte_us
 
     # -- posting -----------------------------------------------------------------
     def post_send(self, qp: QueuePair, wr: WorkRequest) -> Process:

@@ -21,11 +21,27 @@ The programming model:
 Determinism: events scheduled for the same instant fire in FIFO order
 of scheduling (ties are broken by a monotonically increasing sequence
 number), so repeated runs with the same seed produce identical traces.
+
+Fast path (see docs/PERFORMANCE.md): the :meth:`Environment.run` loop
+pops heap entries — plain ``(time, priority, eid, event)`` tuples —
+and runs callbacks inline rather than paying a ``step()`` +
+``_run_callbacks()`` call per event; trigger sites push onto the heap
+directly.  Steady-state event churn recycles :class:`Timeout`,
+completed-event, and :meth:`Environment.defer` objects through
+per-class free lists, so the hot path does no allocation beyond the
+heap tuple itself.  Recycling is guarded by ``sys.getrefcount``: an
+event is only returned to a pool when the kernel provably holds the
+sole remaining reference, so user code that retains an event (for
+``.value``, ``AnyOf`` membership, a later ``release()``) always keeps
+a private object.  None of this changes scheduling order: ``eid``
+assignment and heap ordering are identical to the reference kernel,
+so event counts and traces are byte-for-byte reproducible.
 """
 
 from __future__ import annotations
 
-import heapq
+import sys
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = [
@@ -44,6 +60,15 @@ PRIORITY_NORMAL = 1
 #: Urgent priority, used internally so a process resumption scheduled by
 #: an event trigger happens before same-time normal events.
 PRIORITY_URGENT = 0
+
+#: Free-listed events kept per class; bounds pool memory, not churn.
+_POOL_CAP = 512
+
+try:
+    _getrefcount = sys.getrefcount
+except AttributeError:  # pragma: no cover - non-CPython: pooling off
+    def _getrefcount(_obj: Any) -> int:
+        return 1 << 30
 
 
 class SimulationError(Exception):
@@ -72,6 +97,10 @@ class Event:
     """
 
     __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed", "defused")
+
+    #: classes whose instances may be returned to a free list once the
+    #: kernel holds the only reference (class attribute, no slot)
+    _poolable = False
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -114,7 +143,9 @@ class Event:
         self._ok = True
         self._value = value
         self._triggered = True
-        self.env._schedule(self, PRIORITY_NORMAL, 0.0)
+        env = self.env
+        env._eid += 1
+        heappush(env._queue, (env._now, PRIORITY_NORMAL, env._eid, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -126,7 +157,9 @@ class Event:
         self._ok = False
         self._value = exception
         self._triggered = True
-        self.env._schedule(self, PRIORITY_NORMAL, 0.0)
+        env = self.env
+        env._eid += 1
+        heappush(env._queue, (env._now, PRIORITY_NORMAL, env._eid, self))
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -156,15 +189,42 @@ class Timeout(Event):
 
     __slots__ = ("delay",)
 
+    _poolable = True
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        self.env = env
+        self.callbacks = []
         self._value = value
+        self._ok = True
         self._triggered = True
-        env._schedule(self, PRIORITY_NORMAL, delay)
+        self._processed = False
+        self.defused = False
+        self.delay = delay
+        env._eid += 1
+        heappush(env._queue, (env._now + delay, PRIORITY_NORMAL, env._eid, self))
+
+
+class _Deferred(Event):
+    """Internal: a pooled fire-and-forget callback (``Environment.defer``).
+
+    Never escapes the kernel — ``defer()`` returns ``None`` — so it is
+    recycled unconditionally after its callback slot runs.  It is
+    scheduled with ``callbacks = None``; the run loop dispatches such
+    heap entries through :meth:`_run_callbacks`.
+    """
+
+    __slots__ = ("fn",)
+
+    def _run_callbacks(self) -> None:
+        self._processed = True
+        fn, self.fn = self.fn, None
+        fn()
+        pool = self.env._defer_pool
+        if len(pool) < _POOL_CAP:
+            self._processed = False
+            pool.append(self)
 
 
 class Initialize(Event):
@@ -173,11 +233,15 @@ class Initialize(Event):
     __slots__ = ()
 
     def __init__(self, env: "Environment", process: "Process"):
-        super().__init__(env)
+        self.env = env
         self.callbacks = [process._resume]
+        self._value = None
         self._ok = True
         self._triggered = True
-        env._schedule(self, PRIORITY_URGENT, 0.0)
+        self._processed = False
+        self.defused = False
+        env._eid += 1
+        heappush(env._queue, (env._now, PRIORITY_URGENT, env._eid, self))
 
 
 class Process(Event):
@@ -192,7 +256,13 @@ class Process(Event):
     def __init__(self, env: "Environment", generator: Generator, name: str = ""):
         if not hasattr(generator, "throw"):
             raise TypeError(f"process() requires a generator, got {generator!r}")
-        super().__init__(env)
+        self.env = env
+        self.callbacks = []
+        self._value = None
+        self._ok = True
+        self._triggered = False
+        self._processed = False
+        self.defused = False
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         #: event this process is currently waiting on
@@ -226,54 +296,76 @@ class Process(Event):
 
     # -- internal ------------------------------------------------------------
     def _resume(self, event: Event) -> None:
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
+        generator = self._generator
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    value = event._value
+                    # The outcome is extracted; if the kernel holds the
+                    # only reference left, the event can be reused
+                    # (inlined _recycle: sync-delivered events are
+                    # completed-pool classes, never Timeout).
+                    if event._poolable and _getrefcount(event) == 2:
+                        event._value = None
+                        event.defused = False
+                        cls = event.__class__
+                        pools = env._completed_pools
+                        pool = pools.get(cls)
+                        if pool is None:
+                            pool = pools[cls] = []
+                        if len(pool) < _POOL_CAP:
+                            pool.append(event)
+                    event = None
+                    next_event = generator.send(value)
                 else:
                     # The exception is being delivered; mark it handled.
                     event.defused = True
-                    next_event = self._generator.throw(event._value)
+                    next_event = generator.throw(event._value)
             except StopIteration as exc:
                 self._target = None
-                self.env._active_process = None
+                env._active_process = None
                 self._ok = True
                 self._value = exc.value
                 self._triggered = True
-                self.env._schedule(self, PRIORITY_NORMAL, 0.0)
+                env._eid += 1
+                heappush(env._queue, (env._now, PRIORITY_NORMAL, env._eid, self))
                 return
             except BaseException as exc:
                 self._target = None
-                self.env._active_process = None
+                env._active_process = None
                 self._ok = False
                 self._value = exc
                 self._triggered = True
-                self.env._schedule(self, PRIORITY_NORMAL, 0.0)
+                env._eid += 1
+                heappush(env._queue, (env._now, PRIORITY_NORMAL, env._eid, self))
                 return
 
             if not isinstance(next_event, Event):
                 exc = SimulationError(
                     f"process {self.name!r} yielded a non-event: {next_event!r}"
                 )
-                event = Event(self.env)
+                event = Event(env)
                 event._ok = False
                 event._value = exc
                 event._triggered = True
                 continue
 
-            if next_event.env is not self.env:
+            if next_event.env is not env:
                 raise SimulationError("cannot wait on an event from another environment")
 
-            if next_event.callbacks is not None:
+            callbacks = next_event.callbacks
+            if callbacks is not None:
                 # Not yet processed: register and suspend.
-                next_event.callbacks.append(self._resume)
+                callbacks.append(self._resume)
                 self._target = next_event
                 break
             # Already processed: loop and deliver its outcome synchronously.
             event = next_event
+            next_event = None
 
-        self.env._active_process = None
+        env._active_process = None
 
 
 class ConditionValue:
@@ -283,17 +375,24 @@ class ConditionValue:
 
     def __init__(self, events: List[Event]):
         self.events = events
-        # Identity set for O(1) membership; events are compared by
-        # identity, never by value.
-        self._event_ids = {id(event) for event in events}
+        # Identity set for O(1) membership (events are compared by
+        # identity, never by value), built lazily on first lookup so
+        # conditions that only read ``values()`` never pay for it.
+        self._event_ids = None
+
+    def _ids(self) -> set:
+        ids = self._event_ids
+        if ids is None:
+            ids = self._event_ids = {id(event) for event in self.events}
+        return ids
 
     def __getitem__(self, event: Event) -> Any:
-        if id(event) not in self._event_ids:
+        if id(event) not in self._ids():
             raise KeyError(event)
         return event._value
 
     def __contains__(self, event: Event) -> bool:
-        return id(event) in self._event_ids
+        return id(event) in self._ids()
 
     def __len__(self) -> int:
         return len(self.events)
@@ -368,11 +467,20 @@ class Environment:
         self._queue: List[Any] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        #: events popped and dispatched so far (native counter; the
+        #: perf bench reads this instead of wrapping ``step()``)
+        self.events_processed = 0
         #: observability hook (``repro.telemetry.Telemetry`` or None).
         #: Instrumentation sites across the stack check this attribute;
         #: None (the default) means every site is a single attribute
         #: read — telemetry is strictly opt-in and purely passive.
         self.telemetry: Optional[Any] = None
+        # -- free lists (see module docstring) -----------------------------
+        self._timeout_pool: List[Timeout] = []
+        self._defer_pool: List[_Deferred] = []
+        #: class -> free list for completed-event fast paths (_GetEvent
+        #: and friends register here via ``completed_event``/recycling)
+        self._completed_pools: dict = {}
 
     @property
     def now(self) -> float:
@@ -396,28 +504,78 @@ class Environment:
         through the event heap; never yielding it costs nothing.  Used
         by resources/stores for immediately-satisfiable operations.
         """
-        event = cls(self)
-        event._ok = True
+        pool = self._completed_pools.get(cls)
+        if pool:
+            event = pool.pop()
+            event._value = value
+            return event
+        event = cls.__new__(cls)
+        event.env = self
+        event.callbacks = None
         event._value = value
+        event._ok = True
         event._triggered = True
         event._processed = True
-        event.callbacks = None
+        event.defused = False
         return event
+
+    def _recycle(self, event: Event) -> None:
+        """Return a processed, successful, kernel-exclusive event to
+        its free list (callers guarantee those invariants)."""
+        event._value = None
+        event.defused = False
+        cls = event.__class__
+        if cls is Timeout:
+            pool = self._timeout_pool
+        else:
+            pool = self._completed_pools.get(cls)
+            if pool is None:
+                pool = self._completed_pools[cls] = []
+        if len(pool) < _POOL_CAP:
+            pool.append(event)
 
     def defer(self, delay: float, fn: Callable[[], None]) -> None:
         """Run ``fn()`` after ``delay`` without spawning a process.
 
         A lightweight alternative to ``process()`` for fire-and-forget
-        delayed actions (message deliveries, notifications).
+        delayed actions (message deliveries, notifications).  The
+        callback rides in a dedicated slot of a pooled kernel event —
+        no closure, and steady-state no allocation.
         """
-        event = Event(self)
-        event._ok = True
-        event._triggered = True
-        event.callbacks = [lambda _event: fn()]
-        self._schedule(event, PRIORITY_NORMAL, delay)
+        pool = self._defer_pool
+        if pool:
+            event = pool.pop()
+        else:
+            event = _Deferred.__new__(_Deferred)
+            event.env = self
+            event.callbacks = None
+            event._value = None
+            event._ok = True
+            event._triggered = True
+            event._processed = False
+            event.defused = False
+        event.fn = fn
+        self._eid += 1
+        heappush(self._queue, (self._now + delay, PRIORITY_NORMAL, self._eid, event))
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event that fires after ``delay`` time units."""
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise ValueError(f"negative timeout delay: {delay}")
+            event = pool.pop()
+            # Recycled timeouts are invariantly ok/triggered/defused=False
+            # with _value None; only reset what recycling didn't.
+            event.callbacks = []
+            event._processed = False
+            event.delay = delay
+            if value is not None:
+                event._value = value
+            self._eid += 1
+            heappush(self._queue,
+                     (self._now + delay, PRIORITY_NORMAL, self._eid, event))
+            return event
         return Timeout(self, delay, value)
 
     def process(self, generator: Generator, name: str = "") -> Process:
@@ -435,7 +593,7 @@ class Environment:
     # -- scheduling / run loop ----------------------------------------------
     def _schedule(self, event: Event, priority: int, delay: float) -> None:
         self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        heappush(self._queue, (self._now + delay, priority, self._eid, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -445,8 +603,9 @@ class Environment:
         """Process the single next event."""
         if not self._queue:
             raise SimulationError("no more events")
-        when, _priority, _eid, event = heapq.heappop(self._queue)
+        when, _priority, _eid, event = heappop(self._queue)
         self._now = when
+        self.events_processed += 1
         event._run_callbacks()
 
     def run(self, until: Any = None) -> Any:
@@ -462,25 +621,89 @@ class Environment:
             pass
         elif isinstance(until, Event):
             stop_event = until
-            if stop_event.processed:
-                if stop_event.ok:
-                    return stop_event.value
-                raise stop_event.value
+            if stop_event._processed:
+                if stop_event._ok:
+                    return stop_event._value
+                raise stop_event._value
         else:
             stop_time = float(until)
             if stop_time < self._now:
                 raise ValueError(f"until ({stop_time}) is in the past (now={self._now})")
 
-        while self._queue:
-            if self._queue[0][0] > stop_time:
-                break
-            self.step()
-            if stop_event is not None and stop_event.processed:
-                if stop_event.ok:
-                    return stop_event.value
-                stop_event.defused = True
-                raise stop_event.value
-        if stop_event is not None and not stop_event.processed:
+        # Tight inlined loop: one heap pop + direct callback dispatch
+        # per event (the ``step()`` API remains for single-stepping).
+        queue = self._queue
+        pop = heappop
+        refs = _getrefcount
+        timeout_pool = self._timeout_pool
+        processed = 0
+        try:
+            if stop_event is None:
+                # Common case (run to exhaustion or to a time): no
+                # per-event stop-event check.
+                while queue:
+                    if queue[0][0] > stop_time:
+                        break
+                    when, _priority, _eid, event = pop(queue)
+                    self._now = when
+                    processed += 1
+                    cbs = event.callbacks
+                    if cbs is not None:
+                        event.callbacks = None
+                        event._processed = True
+                        for callback in cbs:
+                            callback(event)
+                        if not event._ok:
+                            if not event.defused:
+                                raise event._value
+                        elif event._poolable and refs(event) == 2:
+                            # Inlined _recycle: heap-fired poolable
+                            # events are overwhelmingly Timeouts.
+                            if event.__class__ is Timeout:
+                                if len(timeout_pool) < _POOL_CAP:
+                                    event._value = None
+                                    event.defused = False
+                                    timeout_pool.append(event)
+                            else:
+                                self._recycle(event)
+                    else:
+                        # Only _Deferred entries are scheduled without a
+                        # callbacks list; dispatch via their override.
+                        event._run_callbacks()
+            else:
+                while queue:
+                    if queue[0][0] > stop_time:
+                        break
+                    when, _priority, _eid, event = pop(queue)
+                    self._now = when
+                    processed += 1
+                    cbs = event.callbacks
+                    if cbs is not None:
+                        event.callbacks = None
+                        event._processed = True
+                        for callback in cbs:
+                            callback(event)
+                        if not event._ok:
+                            if not event.defused:
+                                raise event._value
+                        elif event._poolable and refs(event) == 2:
+                            if event.__class__ is Timeout:
+                                if len(timeout_pool) < _POOL_CAP:
+                                    event._value = None
+                                    event.defused = False
+                                    timeout_pool.append(event)
+                            else:
+                                self._recycle(event)
+                    else:
+                        event._run_callbacks()
+                    if stop_event._processed:
+                        if stop_event._ok:
+                            return stop_event._value
+                        stop_event.defused = True
+                        raise stop_event._value
+        finally:
+            self.events_processed += processed
+        if stop_event is not None and not stop_event._processed:
             raise SimulationError("run() ran out of events before `until` event fired")
         if stop_time != float("inf"):
             self._now = stop_time

@@ -10,11 +10,19 @@ Provides SimPy-style resources used throughout the reproduction:
   this.
 * :class:`FilterStore` — a store whose ``get`` can wait for an item
   matching a predicate (used e.g. to wait for a specific completion).
+
+Hot-path notes (docs/PERFORMANCE.md): stores keep their items and
+waiter lists in :class:`collections.deque` so the FIFO pop is O(1);
+immediately-satisfiable ``get``\\ s reuse pooled ``_GetEvent`` objects
+via :meth:`Environment.completed_event`; ``Resource.request`` builds
+the grant without an ``__init__`` chain and only sorts its wait queue
+when a priority actually arrives out of order.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional
 
 from .core import Environment, Event, SimulationError
 
@@ -31,6 +39,9 @@ class _GetEvent(Event):
     """Internal: a pending Store.get, optionally with a predicate."""
 
     __slots__ = ("predicate",)
+
+    #: fast-path gets are kernel-recycled once their value is delivered
+    _poolable = True
 
 
 class Request(Event):
@@ -73,7 +84,7 @@ class Resource:
         return len(self.users)
 
     def _account(self) -> None:
-        now = self.env.now
+        now = self.env._now
         self._busy_area += len(self.users) * (now - self._last_change)
         self._last_change = now
 
@@ -91,30 +102,58 @@ class Resource:
 
     def request(self, priority: int = 0) -> Request:
         """Claim a slot; the returned event fires when granted."""
-        req = Request(self, priority)
-        self._account()
-        if len(self.users) < self.capacity and not self.queue:
-            self.users.append(req)
-            # Fast path: granted immediately, no trip through the heap.
+        env = self.env
+        users = self.users
+        # inlined _account()
+        now = env._now
+        self._busy_area += len(users) * (now - self._last_change)
+        self._last_change = now
+        # Build the grant without the Event/Request __init__ chain.
+        req = Request.__new__(Request)
+        req.env = env
+        req._value = None
+        req.defused = False
+        req.resource = self
+        req.priority = priority
+        if len(users) < self.capacity and not self.queue:
+            users.append(req)
+            # Fast path: granted immediately, no trip through the heap;
+            # the FIFO key is never compared for immediate grants.
+            req.key = None
             req._ok = True
             req._triggered = True
             req._processed = True
             req.callbacks = None
         else:
-            self.queue.append(req)
-            self.queue.sort(key=lambda r: r.key)
+            self._seq += 1
+            req.key = (priority, self._seq)
+            req._ok = True
+            req._triggered = False
+            req._processed = False
+            req.callbacks = []
+            queue = self.queue
+            queue.append(req)
+            # FIFO arrivals are already in key order; only an actual
+            # priority inversion pays for the (stable) sort.
+            if len(queue) > 1 and queue[-2].key > req.key:
+                queue.sort(key=lambda r: r.key)
         return req
 
     def release(self, request: Request) -> None:
         """Return a previously granted slot."""
-        self._account()
+        users = self.users
+        # inlined _account()
+        now = self.env._now
+        self._busy_area += len(users) * (now - self._last_change)
+        self._last_change = now
         try:
-            self.users.remove(request)
+            users.remove(request)
         except ValueError:
             raise SimulationError(f"release of non-held request on {self.name!r}")
-        while self.queue and len(self.users) < self.capacity:
-            nxt = self.queue.pop(0)
-            self.users.append(nxt)
+        queue = self.queue
+        while queue and len(users) < self.capacity:
+            nxt = queue.pop(0)
+            users.append(nxt)
             nxt.succeed()
 
     def cancel(self, request: Request) -> None:
@@ -143,9 +182,9 @@ class Store:
         self.env = env
         self.capacity = capacity
         self.name = name
-        self.items: List[Any] = []
-        self._getters: List[Event] = []
-        self._putters: List[Event] = []  # (event carries the item as .item)
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[Event] = deque()  # (event carries the item as .item)
         self.put_count = 0
         self.get_count = 0
 
@@ -174,7 +213,8 @@ class Store:
                 event._triggered = True
                 event._processed = True
                 event.callbacks = None
-        self._dispatch()
+        if self._getters:
+            self._dispatch()
 
     def put_nowait(self, item: Any) -> None:
         """Insert without creating an event (hot path for unbounded stores)."""
@@ -182,39 +222,48 @@ class Store:
             raise SimulationError(f"put_nowait on full store {self.name!r}")
         self.items.append(item)
         self.put_count += 1
-        self._dispatch()
+        if self._getters:
+            self._dispatch()
 
     def get(self) -> Event:
         """Remove and return the oldest item; blocks while empty."""
-        if self.items and not self._getters:
+        items = self.items
+        if items and not self._getters:
             # Fast path: satisfy synchronously without the heap.
-            item = self.items.pop(0)
             self.get_count += 1
-            event = self.env.completed_event(item, _GetEvent)
+            event = self.env.completed_event(items.popleft(), _GetEvent)
             event.predicate = None
-            while self._putters and len(self.items) < self.capacity:
-                self._commit_put(self._putters.pop(0))
+            if self._putters:
+                self._admit_putters()
             return event
         event = _GetEvent(self.env)
         event.predicate = None
         self._getters.append(event)
-        self._dispatch()
+        if items:
+            self._dispatch()
         return event
 
+    def _admit_putters(self) -> None:
+        putters = self._putters
+        while putters and len(self.items) < self.capacity:
+            self._commit_put(putters.popleft())
+
     def _dispatch(self) -> None:
-        while self._getters and self.items:
-            getter = self._getters.pop(0)
-            item = self.items.pop(0)
+        getters = self._getters
+        items = self.items
+        while getters and items:
+            getter = getters.popleft()
+            item = items.popleft()
             self.get_count += 1
             getter.succeed(item)
-            while self._putters and len(self.items) < self.capacity:
-                self._commit_put(self._putters.pop(0))
+            if self._putters:
+                self._admit_putters()
 
     def try_get(self) -> Optional[Any]:
         """Non-blocking get: pop the oldest item or return ``None``."""
         if self.items and not self._getters:
             self.get_count += 1
-            return self.items.pop(0)
+            return self.items.popleft()
         return None
 
     def fail_getters(self, exc: BaseException) -> int:
@@ -224,7 +273,7 @@ class Store:
         consumers are blocked (e.g. senders stalled on a crashed node's
         receive queue).  Items already in the store are untouched.
         """
-        getters, self._getters = self._getters, []
+        getters, self._getters = self._getters, deque()
         for event in getters:
             event.fail(exc)
         return len(getters)
@@ -235,37 +284,42 @@ class FilterStore(Store):
 
     def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> Event:
         predicate = predicate or (lambda item: True)
-        if self.items and not self._getters:
-            match = next((i for i, item in enumerate(self.items) if predicate(item)), None)
+        items = self.items
+        if items and not self._getters:
+            match = next((i for i, item in enumerate(items) if predicate(item)), None)
             if match is not None:
-                item = self.items.pop(match)
+                item = items[match]
+                del items[match]
                 self.get_count += 1
                 event = self.env.completed_event(item, _GetEvent)
                 event.predicate = predicate
-                while self._putters and len(self.items) < self.capacity:
-                    self._commit_put(self._putters.pop(0))
+                if self._putters:
+                    self._admit_putters()
                 return event
         event = _GetEvent(self.env)
         event.predicate = predicate
         self._getters.append(event)
-        self._dispatch()
+        if items:
+            self._dispatch()
         return event
 
     def _dispatch(self) -> None:
+        items = self.items
         progressed = True
         while progressed:
             progressed = False
             for getter in list(self._getters):
                 match = next(
-                    (i for i, item in enumerate(self.items)
+                    (i for i, item in enumerate(items)
                      if getter.predicate(item)),
                     None,
                 )
                 if match is not None:
                     self._getters.remove(getter)
-                    item = self.items.pop(match)
+                    item = items[match]
+                    del items[match]
                     self.get_count += 1
                     getter.succeed(item)
                     progressed = True
-            while self._putters and len(self.items) < self.capacity:
-                self._commit_put(self._putters.pop(0))
+            if self._putters:
+                self._admit_putters()

@@ -1,0 +1,90 @@
+"""Parallel experiment runner: deterministic in-order merge.
+
+The contract (docs/PERFORMANCE.md): fanning a sweep's independent
+points out over worker processes must be invisible in the output —
+results merge in submission order and every point function is free of
+process-global state, so serial and ``jobs=N`` runs are byte-identical
+and simulation event counts match the seed exactly.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.ext_overload import run_ext_overload
+from repro.experiments.fig12_primitives import run_fig12
+from repro.experiments.parallel import default_jobs, parallel_map
+from repro.experiments.report import to_json
+from repro.sim import Environment
+
+
+def _affine(x, offset=0):
+    return {"x": x, "y": 2 * x + offset}
+
+
+@settings(max_examples=10, deadline=None)
+@given(xs=st.lists(st.integers(-1_000, 1_000), max_size=12),
+       jobs=st.integers(min_value=0, max_value=4))
+def test_parallel_map_matches_serial_in_order(xs, jobs):
+    calls = [((x,), {"offset": 7}) for x in xs]
+    assert parallel_map(_affine, calls, jobs=jobs) == \
+        parallel_map(_affine, calls, jobs=1)
+
+
+def test_default_jobs_reads_env(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert default_jobs() == 1
+    monkeypatch.setenv("REPRO_JOBS", "4")
+    assert default_jobs() == 4
+
+
+def _count_events(fn, *args, **kwargs):
+    """Run ``fn`` summing events over every Environment it creates."""
+    envs = []
+    original_init = Environment.__init__
+
+    def tracking_init(self, *a, **k):
+        original_init(self, *a, **k)
+        envs.append(self)
+
+    Environment.__init__ = tracking_init
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        Environment.__init__ = original_init
+    return result, sum(env.events_processed for env in envs)
+
+
+class TestByteIdentity:
+    def test_fig12_serial_vs_parallel(self):
+        kwargs = dict(sizes=(64,), concurrency=2, duration_us=5_000.0)
+        serial, events = _count_events(run_fig12, **kwargs)
+        fanned = run_fig12(jobs=4, **kwargs)
+        assert to_json(serial) == to_json(fanned)
+        # Pinned to the seed kernel: the fast-path rewrite (free-lists,
+        # flattened run loop) must not add, drop, or reorder events.
+        assert events == 128_191
+
+    def test_ext_overload_serial_vs_parallel(self):
+        kwargs = dict(configs=("palladium-dne",), multipliers=(0.8, 2.0),
+                      duration_us=20_000.0, warmup_us=15_000.0)
+        serial = run_ext_overload(**kwargs)
+        fanned = run_ext_overload(jobs=4, **kwargs)
+        assert to_json(serial) == to_json(fanned)
+
+
+@pytest.mark.parametrize("runs", [2])
+def test_overload_point_free_of_process_global_state(runs):
+    # Re-running the same point in one process must give the same
+    # output a fresh process would: connection/request ids are scoped
+    # per-environment, so RSS worker assignment cannot drift with
+    # process history (the bug that once broke serial-vs-jobs merges).
+    from repro.experiments.ext_overload import run_overload_point
+    import json
+
+    outs = [json.dumps(
+        run_overload_point("palladium-dne", 0.8,
+                           duration_us=20_000.0, warmup_us=15_000.0),
+        sort_keys=True, default=str)
+        for _ in range(runs)]
+    assert len(set(outs)) == 1

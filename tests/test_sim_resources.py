@@ -259,7 +259,7 @@ def test_filter_store_matches_predicate():
     env.process(producer())
     env.run()
     assert got == [(2.0, 9)]
-    assert store.items == [3]  # non-matching item remains
+    assert list(store.items) == [3]  # non-matching item remains
 
 
 def test_filter_store_plain_get():
@@ -285,7 +285,7 @@ def test_filter_store_immediate_match_synchronous():
     event = store.get(lambda x: x >= 10)
     assert event.processed
     assert event.value == 10
-    assert store.items == [1]
+    assert list(store.items) == [1]
 
 
 def test_filter_store_multiple_predicates():

@@ -102,21 +102,20 @@ class TestSpanTree:
 
 @pytest.fixture
 def pinned_ids(monkeypatch):
-    """Reset the process-global id counters before a run.
+    """Reset the remaining process-global id counters before a run.
 
-    Connection ids feed the ingress RSS hash, so their absolute values
-    (which depend on how many runs this process already did) steer
-    worker selection.  Pinning them isolates the variable under test:
-    with ids equal, only telemetry could make two runs differ.
+    Connection ids (and the ingress request ids) are per-environment,
+    so RSS worker selection no longer depends on prior runs in the
+    process; http/function request ids are still global, so pin them
+    to isolate the variable under test: with ids equal, only telemetry
+    could make two runs differ.
     """
     import itertools
 
-    from repro.ingress import gateway
     from repro.net import http
     from repro.platform import function as function_mod
 
     def reset():
-        monkeypatch.setattr(gateway, "_conn_ids", itertools.count(1))
         monkeypatch.setattr(http, "_request_ids", itertools.count(1))
         monkeypatch.setattr(function_mod, "_rids", itertools.count(1))
 
