@@ -178,6 +178,27 @@ class CostModel:
     ingress_scale_event_pause_us: float = 300_000.0
     ingress_autoscale_period_us: float = 1_000_000.0
 
+    # ----- live migration (repro.migration) -----------------------------------
+    #: Fixed cost of freezing a warm instance and walking its pages into
+    #: a checkpoint image (CRIU-style dump, before the DMA of the image
+    #: itself, which is charged through `soc_dma_time`).
+    checkpoint_base_us: float = 800.0
+    #: Fixed cost of rebuilding the address space / runtime state from a
+    #: checkpoint image on the target node (CRIU restore, before MR
+    #: re-registration and QP activation).
+    restore_base_us: float = 1_200.0
+    #: Image framing / metadata shipped alongside the checkpointed state.
+    migration_frame_bytes: int = 4_096
+    #: MR registration: ibv_reg_mr base cost plus per-MTT-entry pinning
+    #: and translation upload (Swift, arXiv 2501.19051: registration
+    #: cost grows with region size; hugepages keep the entry count low).
+    mr_register_base_us: float = 30.0
+    mr_register_per_entry_us: float = 1.2
+    #: Container cold start (image pull amortized away; process spawn,
+    #: runtime init, language warm-up).  What kill-and-cold-start pays
+    #: and a live migration avoids.
+    cold_start_us: float = 120_000.0
+
     # ----- serverless platform -------------------------------------------------------
     #: Sidecar cost models (§3.1): classic container sidecar vs
     #: Palladium's consolidated/eBPF sidecars ("as high as 30%" overhead
@@ -221,6 +242,11 @@ class CostModel:
     def soc_dma_time(self, nbytes: int) -> float:
         """SoC DMA engine service time for one transfer."""
         return self.soc_dma_base_us + nbytes / self.soc_dma_bytes_per_us
+
+    def mr_register_time(self, mtt_entries: int) -> float:
+        """Control-plane cost of registering a memory region."""
+        return (self.mr_register_base_us
+                + mtt_entries * self.mr_register_per_entry_us)
 
 
 @dataclass(frozen=True)

@@ -13,6 +13,11 @@ from .ext_cycle_breakdown import (
     run_trace_smoke,
 )
 from .ext_fault_recovery import run_ext_fault_recovery, run_fault_point
+from .ext_migration import (
+    run_drain_point,
+    run_ext_migration,
+    run_migration_point,
+)
 from .ext_overload import (
     run_ext_overload,
     run_overload_isolation,
@@ -35,10 +40,13 @@ __all__ = [
     "validation",
     "run_boutique_point",
     "run_cycle_point",
+    "run_drain_point",
     "run_ext_cycle_breakdown",
     "run_ext_fault_recovery",
+    "run_ext_migration",
     "run_ext_overload",
     "run_fault_point",
+    "run_migration_point",
     "run_overload_isolation",
     "run_overload_point",
     "run_trace_smoke",

@@ -21,6 +21,7 @@ import time
 from . import (
     run_ext_cycle_breakdown,
     run_ext_fault_recovery,
+    run_ext_migration,
     run_ext_overload,
     run_overload_isolation,
     run_fig09,
@@ -104,6 +105,13 @@ EXPERIMENTS = {
         lambda jobs=None: run_ext_fault_recovery(
             configs=("palladium-dne", "palladium-dne-no-recovery"),
             clients=8, down_us=80_000.0, post_us=60_000.0, jobs=jobs),
+    ),
+    "migration": (
+        lambda jobs=None: run_ext_migration(jobs=jobs),
+        lambda jobs=None: run_ext_migration(
+            state_kbs=(64, 4096), clients=6,
+            move_at_us=80_000.0, disruption_us=50_000.0,
+            post_us=80_000.0, jobs=jobs),
     ),
     "cycle-breakdown": (
         run_ext_cycle_breakdown,

@@ -119,6 +119,16 @@ class FaultInjector:
                 except PoolExhausted:
                     break
             return len(held)
+        if kind == "node-drain":
+            # Graceful maintenance drain runs as its own process so the
+            # injector can keep walking the schedule while migrations
+            # are in flight; deadline expiry inside drain_node falls
+            # back to crash semantics on its own.
+            params = {k: v for k, v in event.params.items() if v is not None}
+            self.env.process(
+                self.platform.drain_node(event.target, **params),
+                name=f"drain:{event.target}")
+            return "scheduled"
         if kind == "pool-release":
             held = self._hostages.pop(event.target, [])
             node, tenant = event.target.split(":", 1)

@@ -28,6 +28,7 @@ KINDS = frozenset({
     "link-degrade", "link-restore",
     "qp-error",
     "pool-exhaust", "pool-release",
+    "node-drain",
 })
 
 
@@ -103,6 +104,21 @@ class FaultPlan:
         self.add(FaultEvent(at_us, "qp-error", node,
                             {"remote": remote, "tenant": tenant,
                              "count": count}))
+        return self
+
+    def node_drain(self, at_us: float, node: str,
+                   deadline_us: Optional[float] = None,
+                   state_bytes: Optional[int] = None) -> "FaultPlan":
+        """Planned maintenance: gracefully drain then withdraw a node.
+
+        Every function on the node is live-migrated off before the
+        node withdraws.  With ``deadline_us`` the drain must finish
+        within the maintenance window; expiry falls back to crash
+        semantics for whatever is left (the injector's platform hook
+        handles the fallback).
+        """
+        params = {"deadline_us": deadline_us, "state_bytes": state_bytes}
+        self.add(FaultEvent(at_us, "node-drain", node, params))
         return self
 
     def mempool_exhaust(self, at_us: float, node: str, tenant: str,

@@ -1,0 +1,16 @@
+"""Live function migration: checkpoint/restore + connection handover.
+
+Opt-in subsystem — importing it costs nothing, and no migration state
+exists until :meth:`ServerlessPlatform.migrate_function` (or a node
+drain) is invoked, so un-migrated runs stay byte-identical.
+"""
+
+from .migrator import DEFAULT_STATE_BYTES, LiveMigrator, MigrationRecord
+from .coldstart import kill_and_cold_start
+
+__all__ = [
+    "DEFAULT_STATE_BYTES",
+    "LiveMigrator",
+    "MigrationRecord",
+    "kill_and_cold_start",
+]

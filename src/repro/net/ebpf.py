@@ -65,6 +65,10 @@ class SockMap:
             self._sockets[fn_id] = SkMsgSocket(self.env, fn_id, inbox)
         return self._sockets[fn_id]
 
+    def unregister(self, fn_id: str) -> None:
+        """Remove a socket (endpoint moved away or was torn down)."""
+        self._sockets.pop(fn_id, None)
+
     def lookup(self, fn_id: str) -> SkMsgSocket:
         try:
             return self._sockets[fn_id]

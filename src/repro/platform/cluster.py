@@ -109,6 +109,11 @@ class ServerlessPlatform:
         self.functions: Dict[str, FunctionInstance] = {}
         self._started = False
 
+        #: nodes currently being gracefully drained / already withdrawn
+        self.draining_nodes: set = set()
+        self.withdrawn_nodes: set = set()
+        self._migrator = None
+
     # -- tenants -------------------------------------------------------------
     def add_tenant(self, tenant: Tenant) -> None:
         """Create the tenant's per-node pools and register with engines."""
@@ -273,6 +278,108 @@ class ServerlessPlatform:
                 instance.recover()
         if recovery:
             self.coordinator.node_recovered(node_name)
+
+    # -- live migration & graceful drains (repro.migration) -------------------
+    @property
+    def migrator(self):
+        """Lazily-built :class:`repro.migration.LiveMigrator`.
+
+        Constructed on first use so platforms that never migrate carry
+        zero migration state (byte-identical determinism gate).  The
+        import is deferred to keep :mod:`repro.migration` free of a
+        cycle with this package.
+        """
+        if self._migrator is None:
+            from ..migration import LiveMigrator
+            self._migrator = LiveMigrator(self)
+        return self._migrator
+
+    def make_iolib(self, fn_id: str, tenant: str, node_name: str) -> IoLibrary:
+        """A fresh I/O library binding ``fn_id`` to ``node_name``."""
+        return IoLibrary(self.runtimes[node_name], fn_id, tenant)
+
+    def migrate_function(self, fn_id: str, dst_node: str, **kwargs):
+        """Generator: live-migrate one function (see ``LiveMigrator``)."""
+        return self.migrator.migrate(fn_id, dst_node, **kwargs)
+
+    def _drain_target(self, exclude: str) -> Optional[str]:
+        """Least-loaded live worker to receive a drained function."""
+        candidates = []
+        for name, runtime in self.runtimes.items():
+            if name == exclude or not runtime.alive:
+                continue
+            if name in self.draining_nodes or name in self.withdrawn_nodes:
+                continue
+            placed = sum(1 for fn in self.coordinator.functions_on(name)
+                         if fn in self.functions)
+            candidates.append((placed, name))
+        if not candidates:
+            return None
+        return min(candidates)[1]
+
+    def drain_node(self, node_name: str, deadline_us: Optional[float] = None,
+                   state_bytes: Optional[int] = None,
+                   withdraw_grace_us: float = 1_000.0):
+        """Generator: gracefully drain and withdraw a worker node.
+
+        Live-migrates every function placed on ``node_name`` to the
+        least-loaded surviving worker (serially — one checkpoint image
+        in flight at a time keeps the fabric blip bounded), then stops
+        the node's engine and marks it withdrawn.  With ``deadline_us``
+        the whole drain must finish in time; when the budget runs out
+        the remaining functions fall back to crash semantics
+        (``crash_node``), exactly what an expired maintenance window
+        does to a straggler in production.  Returns the ids migrated.
+        """
+        if state_bytes is None:
+            from ..migration import DEFAULT_STATE_BYTES
+            state_bytes = DEFAULT_STATE_BYTES
+        env = self.env
+        runtime = self.runtimes[node_name]
+        if not runtime.alive or node_name in self.draining_nodes:
+            return []
+        start = env.now
+        self.draining_nodes.add(node_name)
+        migrated: List[str] = []
+        try:
+            for fn_id in sorted(self.coordinator.functions_on(node_name)):
+                if fn_id not in self.functions:
+                    continue  # adapters/pseudo-endpoints do not migrate
+                target = self._drain_target(node_name)
+                if target is None:
+                    break
+                timeout = None
+                if deadline_us is not None:
+                    timeout = deadline_us - (env.now - start)
+                    if timeout <= 0:
+                        break
+                record = yield from self.migrator.migrate(
+                    fn_id, target, state_bytes=state_bytes,
+                    quiesce_timeout_us=timeout)
+                if not record.ok:
+                    break
+                migrated.append(fn_id)
+            leftovers = sorted(
+                fn for fn in self.coordinator.functions_on(node_name)
+                if fn in self.functions)
+            if leftovers:
+                self.coordinator.events.append(
+                    ("node-drain-expired", node_name, tuple(leftovers)))
+                self.crash_node(node_name, recovery=True)
+                return migrated
+            # Empty node: let stragglers clear the forwarders, then
+            # withdraw — engine stops cleanly, no QP errors at peers.
+            yield env.timeout(withdraw_grace_us)
+            engine = self.engines.get(node_name)
+            if engine is not None:
+                engine.stop()
+            runtime.alive = False
+            self.withdrawn_nodes.add(node_name)
+            self.coordinator.events.append(
+                ("node-drained", node_name, tuple(migrated)))
+            return migrated
+        finally:
+            self.draining_nodes.discard(node_name)
 
     # -- measurement helpers ----------------------------------------------------------
     def usage_snapshot(self) -> Dict[str, float]:

@@ -41,6 +41,21 @@ class Coordinator:
         for routes in self._subscribers:
             routes.set_route(fn_id, node)
 
+    def function_migrated(self, fn_id: str, node: str) -> None:
+        """Atomically repoint a function's routes at its new node.
+
+        The placement record is updated first (it is authoritative —
+        recovery re-publication reads it), then every subscribed route
+        table is overwritten in one synchronous pass: there is no
+        instant at which one engine routes to the old node while
+        another routes to the new one.
+        """
+        old = self.placement.get(fn_id)
+        self.placement[fn_id] = node
+        self.events.append(("migrated", fn_id, old, node))
+        for routes in self._subscribers:
+            routes.set_route(fn_id, node)
+
     def function_terminated(self, fn_id: str) -> None:
         """Withdraw a function's routes cluster-wide."""
         self.placement.pop(fn_id, None)

@@ -142,13 +142,24 @@ class ElasticPlatform(ServerlessPlatform):
         return removed
 
     def handle_node_recovery(self, node_name: str) -> List[str]:
-        """Put a recovered node's replicas back into rotation."""
-        restored = self._failed_replicas.pop(node_name, [])
-        for rid in restored:
+        """Put a recovered node's replicas back into rotation.
+
+        Only replicas whose *authoritative placement* still points at
+        the recovering node return: a replica live-migrated away during
+        the outage was already re-placed (and is back in rotation on
+        its new node) — resurrecting the stale record would split the
+        service between a real instance and a ghost route.
+        """
+        candidates = self._failed_replicas.pop(node_name, [])
+        restored: List[str] = []
+        for rid in candidates:
+            if self.coordinator.placement.get(rid) != node_name:
+                continue  # migrated away while the node was down
             service = rid.rsplit("#", 1)[0]
             group = self.services.get(service)
             if group is not None and rid not in group.replicas:
                 group.add(rid)
+            restored.append(rid)
         return restored
 
     def crash_node(self, node_name: str, recovery: bool = True) -> None:

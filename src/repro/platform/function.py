@@ -119,6 +119,15 @@ class FunctionInstance:
         #: handler executions that failed on a downstream error
         self.failed = 0
         self.invoke_timeouts = 0
+        #: live-migration state (repro.migration): while frozen, new
+        #: requests are parked for the checkpoint drain; ``_busy``
+        #: counts in-flight dispatch/handler work for the quiesce wait.
+        self._frozen = False
+        self._busy = 0
+        self._frozen_backlog: list = []
+        self._quiesce_waiters: list = []
+        #: completed live migrations of this instance
+        self.migrations = 0
 
     # -- lifecycle ----------------------------------------------------------
     def start(self) -> None:
@@ -142,6 +151,82 @@ class FunctionInstance:
     def recover(self) -> None:
         self.crashed = False
 
+    # -- live migration support (repro.migration) ----------------------------
+    def freeze(self) -> None:
+        """Stop dispatching new requests (they are parked for the
+        checkpoint drain); responses keep flowing so handlers blocked
+        in ``invoke`` can finish and the instance can quiesce."""
+        self._frozen = True
+
+    def thaw(self, requeue: bool = False) -> None:
+        """Resume normal dispatch.
+
+        ``requeue`` is the abort path: parked requests go back to the
+        worker queue instead of travelling in a checkpoint image.
+        Quiesce waiters are released either way so an aborted
+        migration's wait unblocks.
+        """
+        self._frozen = False
+        if requeue:
+            backlog, self._frozen_backlog = self._frozen_backlog, []
+            for descriptor in backlog:
+                self._requests.put_nowait(descriptor)
+        waiters, self._quiesce_waiters = self._quiesce_waiters, []
+        for event in waiters:
+            event.succeed()
+
+    def wait_quiesced(self):
+        """Generator: block until no dispatch/handler work is in flight.
+
+        Returns True when the instance quiesced under freeze, False
+        when the freeze was lifted underneath (aborted migration).
+        """
+        while self._frozen and self._busy > 0:
+            event = self.env.event()
+            self._quiesce_waiters.append(event)
+            yield event
+        return self._frozen
+
+    def drain_queued(self) -> list:
+        """Pull every queued descriptor out of the instance.
+
+        Order: requests already dispatched to workers, then requests
+        parked by the freeze, then raw inbox arrivals.  The caller (the
+        migrator) takes over ownership of each message and buffer.
+        """
+        items = []
+        while True:
+            descriptor = self._requests.try_get()
+            if descriptor is None:
+                break
+            items.append(descriptor)
+        items.extend(self._frozen_backlog)
+        self._frozen_backlog.clear()
+        while True:
+            descriptor = self.inbox.try_get()
+            if descriptor is None:
+                break
+            items.append(descriptor)
+        return items
+
+    def rebind(self, iolib) -> None:
+        """Point the instance at a new node's I/O library (restore).
+
+        The inbox object, pending invocations, and worker processes
+        carry over untouched — that is the "warm" in warm migration;
+        only the transport bindings change.
+        """
+        self.iolib = iolib
+        self.cpu = iolib.cpu
+        self.migrations += 1
+
+    def _work_done(self) -> None:
+        self._busy -= 1
+        if self._busy == 0 and self._frozen and self._quiesce_waiters:
+            waiters, self._quiesce_waiters = self._quiesce_waiters, []
+            for event in waiters:
+                event.succeed()
+
     # -- receive path ---------------------------------------------------------
     def _dispatch_loop(self):
         while True:
@@ -151,28 +236,37 @@ class FunctionInstance:
                 descriptor.message.retire(self.agent)
                 self.iolib.recycle(descriptor.buffer, self.agent)
                 continue
-            # Wake-up cost depends on how the descriptor arrived.
-            recv_us = self.iolib.recv_cost_us(descriptor)
-            tel = self.env.telemetry
-            if tel is not None:
-                # Descriptor-channel wakeups are descriptor handling;
-                # the TCP fallback wakes through the kernel stack.
-                via = descriptor.message.via
-                category = "protocol" if via == "tcp" else "descriptor"
-                tel.cycles.charge(category, recv_us,
-                                  where=f"recv:{self.spec.name}")
-            yield from self.cpu.execute(recv_us)
-            header = descriptor.message
-            if header.is_response:
-                event = self._pending.pop(header.rid, None)
-                if event is not None:
-                    event.succeed(descriptor)
+            if self._frozen and not descriptor.message.is_response:
+                # Migration freeze: park requests for the checkpoint
+                # drain; responses keep flowing (quiesce needs them).
+                self._frozen_backlog.append(descriptor)
+                continue
+            self._busy += 1
+            try:
+                # Wake-up cost depends on how the descriptor arrived.
+                recv_us = self.iolib.recv_cost_us(descriptor)
+                tel = self.env.telemetry
+                if tel is not None:
+                    # Descriptor-channel wakeups are descriptor handling;
+                    # the TCP fallback wakes through the kernel stack.
+                    via = descriptor.message.via
+                    category = "protocol" if via == "tcp" else "descriptor"
+                    tel.cycles.charge(category, recv_us,
+                                      where=f"recv:{self.spec.name}")
+                yield from self.cpu.execute(recv_us)
+                header = descriptor.message
+                if header.is_response:
+                    event = self._pending.pop(header.rid, None)
+                    if event is not None:
+                        event.succeed(descriptor)
+                    else:
+                        # Response nobody awaits (caller timed out): recycle.
+                        header.retire(self.agent)
+                        self.iolib.recycle(descriptor.buffer, self.agent)
                 else:
-                    # Response nobody awaits (caller timed out): recycle.
-                    header.retire(self.agent)
-                    self.iolib.recycle(descriptor.buffer, self.agent)
-            else:
-                self._requests.put(descriptor)
+                    self._requests.put(descriptor)
+            finally:
+                self._work_done()
 
     def _handler_worker(self):
         while True:
@@ -182,57 +276,66 @@ class FunctionInstance:
                 descriptor.message.retire(self.agent)
                 self.iolib.recycle(descriptor.buffer, self.agent)
                 continue
-            started = self.env.now
-            message = Message(
-                payload=descriptor.buffer.read(self.agent),
-                size=descriptor.length,
-                header=descriptor.message,
-                descriptor=descriptor,
-            )
-            ctx = FunctionContext(self, message)
-            tel = self.env.telemetry
-            if tel is not None:
-                ctx.span = tel.tracer.start_span(
-                    f"fn.exec:{self.spec.name}",
-                    parent=message.header.trace, category="function",
-                    node=self.iolib.runtime.node.name, actor=self.spec.name,
-                    tenant=self.spec.tenant)
-            handler = self.spec.handler or _echo_handler
-            try:
-                yield from handler(ctx, message)
-            except (SendError, InvokeTimeout):
-                # Downstream failure: abandon this request; the
-                # caller's own timeout surfaces the loss.  Keep the
-                # worker alive and reclaim the request buffer if the
-                # handler still holds it.
-                self.failed += 1
-                message.header.retire(self.agent)
-                buffer = descriptor.buffer
-                if buffer is not None and buffer.owner == self.agent:
-                    self.iolib.recycle(buffer, self.agent)
-                if tel is not None:
-                    tel.tracer.end_span(ctx.span, status="error")
-                    tel.metrics.counter(
-                        "fn_failed_total", "Handler executions abandoned on "
-                        "a downstream error.", labels=("fn",)).labels(
-                            self.spec.name).inc()
+            if self._frozen:
+                # Claimed from the queue at the freeze instant: park it
+                # for the checkpoint drain instead of executing.
+                self._frozen_backlog.append(descriptor)
                 continue
-            # The request header has completed its journey: the handler
-            # either responded (reusing the buffer under a new header)
-            # or consumed the request outright.
-            message.header.retire(self.agent)
-            self.handled += 1
-            self.latency.record(self.env.now - started)
-            if tel is not None:
-                tel.tracer.end_span(ctx.span)
-                tel.metrics.counter(
-                    "fn_handled_total", "Handler executions completed.",
-                    labels=("fn", "tenant")).labels(
-                        self.spec.name, self.spec.tenant).inc()
-                tel.metrics.histogram(
-                    "fn_exec_latency_us", "Handler wall time, request "
-                    "dequeue to completion.", labels=("fn",)).labels(
-                        self.spec.name).observe(self.env.now - started)
+            self._busy += 1
+            try:
+                started = self.env.now
+                message = Message(
+                    payload=descriptor.buffer.read(self.agent),
+                    size=descriptor.length,
+                    header=descriptor.message,
+                    descriptor=descriptor,
+                )
+                ctx = FunctionContext(self, message)
+                tel = self.env.telemetry
+                if tel is not None:
+                    ctx.span = tel.tracer.start_span(
+                        f"fn.exec:{self.spec.name}",
+                        parent=message.header.trace, category="function",
+                        node=self.iolib.runtime.node.name, actor=self.spec.name,
+                        tenant=self.spec.tenant)
+                handler = self.spec.handler or _echo_handler
+                try:
+                    yield from handler(ctx, message)
+                except (SendError, InvokeTimeout):
+                    # Downstream failure: abandon this request; the
+                    # caller's own timeout surfaces the loss.  Keep the
+                    # worker alive and reclaim the request buffer if the
+                    # handler still holds it.
+                    self.failed += 1
+                    message.header.retire(self.agent)
+                    buffer = descriptor.buffer
+                    if buffer is not None and buffer.owner == self.agent:
+                        self.iolib.recycle(buffer, self.agent)
+                    if tel is not None:
+                        tel.tracer.end_span(ctx.span, status="error")
+                        tel.metrics.counter(
+                            "fn_failed_total", "Handler executions abandoned "
+                            "on a downstream error.", labels=("fn",)).labels(
+                                self.spec.name).inc()
+                    continue
+                # The request header has completed its journey: the handler
+                # either responded (reusing the buffer under a new header)
+                # or consumed the request outright.
+                message.header.retire(self.agent)
+                self.handled += 1
+                self.latency.record(self.env.now - started)
+                if tel is not None:
+                    tel.tracer.end_span(ctx.span)
+                    tel.metrics.counter(
+                        "fn_handled_total", "Handler executions completed.",
+                        labels=("fn", "tenant")).labels(
+                            self.spec.name, self.spec.tenant).inc()
+                    tel.metrics.histogram(
+                        "fn_exec_latency_us", "Handler wall time, request "
+                        "dequeue to completion.", labels=("fn",)).labels(
+                            self.spec.name).observe(self.env.now - started)
+            finally:
+                self._work_done()
 
     # -- invocation API ------------------------------------------------------------
     def invoke(self, dst_fn: str, payload: Any, size: int, parent_span=None):

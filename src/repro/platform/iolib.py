@@ -104,6 +104,29 @@ class NodeRuntime:
         self.intra_routes.add_function(fn_id)
         self.endpoint_tenants[fn_id] = tenant
 
+    def unregister_endpoint(self, fn_id: str,
+                            forward_inbox: Optional[Store] = None) -> None:
+        """Remove a function's node-local wiring (migration / teardown).
+
+        The intra-node route disappears so local senders fall back to
+        the engine path (which follows the coordinator's flipped
+        routes).  With ``forward_inbox``, the sockmap slot and the
+        descriptor-channel endpoint are immediately re-bound to it —
+        the migration forwarder's store — so deliveries already past
+        their route lookup land there instead of a torn-down socket.
+        Without it, both registrations are simply removed.
+        """
+        self.intra_routes.remove_function(fn_id)
+        self.sockmap.unregister(fn_id)
+        if self.engine is not None:
+            self.engine.channel.detach(fn_id)
+        if forward_inbox is not None:
+            self.sockmap.register(fn_id, forward_inbox)
+            if self.engine is not None:
+                self.engine.channel.attach(fn_id, forward_inbox)
+        else:
+            self.endpoint_tenants.pop(fn_id, None)
+
     def crosses_security_domain(self, tenant: str, dst_fn: str) -> bool:
         """True when sending to ``dst_fn`` leaves ``tenant``'s domain.
 

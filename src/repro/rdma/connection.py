@@ -170,6 +170,30 @@ class ConnectionManager:
         yield from self._activate(best)
         return best
 
+    def ensure_active(self, remote_node: str, tenant: str):
+        """Generator: guarantee one ACTIVE QP toward a peer; returns it.
+
+        The live-migration restore path: a migrated instance's traffic
+        must flow the moment routes flip, so the target node promotes a
+        pooled shadow QP up front (activation only, no cross-node sync,
+        §3.3).  Falls back to a full RC handshake only when the pool is
+        empty — the cold-start cost migration exists to avoid.
+        """
+        pool = self._prune((remote_node, tenant))
+        for qp in pool:
+            if qp.is_active:
+                return qp
+        if pool:
+            qp = pool[0]
+            yield from self._activate(qp)
+            return qp
+        qp = yield from self._establish(remote_node, tenant)
+        if qp.is_errored:
+            return qp
+        pool.append(qp)
+        yield from self._activate(qp)
+        return qp
+
     def tenant_active_count(self, tenant: str) -> int:
         """Active QPs this tenant holds across all peers."""
         return sum(

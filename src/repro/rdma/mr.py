@@ -24,9 +24,13 @@ class RegistrationError(PermissionError):
 
 @dataclass
 class MemoryRegion:
-    """One registered memory region (a whole tenant pool)."""
+    """One registered memory region (a tenant pool or a raw range).
 
-    pool: MemoryPool
+    ``pool`` is None for standalone regions — e.g. the staging image a
+    live migration restores into before the instance resumes.
+    """
+
+    pool: Optional[MemoryPool]
     tenant: str
     mtt_entries: int
     #: lkey/rkey stand-in
@@ -38,6 +42,7 @@ class MemoryRegionTable:
 
     def __init__(self, mtt_cache_entries: int = 2048):
         self._regions: Dict[int, MemoryRegion] = {}  # pool id -> region
+        self._raw_regions: Dict[int, MemoryRegion] = {}  # key -> region
         self._next_key = 1
         self.mtt_cache_entries = mtt_cache_entries
         #: running sum over regions; queried on every RNIC op, so it
@@ -71,6 +76,28 @@ class MemoryRegionTable:
     def deregister_pool(self, pool: MemoryPool) -> None:
         region = self._regions.pop(id(pool), None)
         if region is not None:
+            self._total_mtt -= region.mtt_entries
+
+    def register_region(self, tenant: str, mtt_entries: int) -> MemoryRegion:
+        """Register a standalone (pool-less) region.
+
+        Live migration restores the checkpoint image into such a
+        region so the RNIC can DMA it; the entries count toward the
+        MTT cache like any pool's.  The *time* cost of the ibv_reg_mr
+        call is the caller's to charge (``CostModel.mr_register_time``).
+        """
+        if mtt_entries < 0:
+            raise RegistrationError("mtt_entries must be >= 0")
+        region = MemoryRegion(pool=None, tenant=tenant,
+                              mtt_entries=mtt_entries, key=self._next_key)
+        self._next_key += 1
+        self._raw_regions[region.key] = region
+        self._total_mtt += region.mtt_entries
+        return region
+
+    def deregister_region(self, region: MemoryRegion) -> None:
+        """Release a standalone region registered via ``register_region``."""
+        if self._raw_regions.pop(region.key, None) is not None:
             self._total_mtt -= region.mtt_entries
 
     def lookup_buffer(self, buffer: Buffer) -> MemoryRegion:
