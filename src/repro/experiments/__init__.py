@@ -23,6 +23,12 @@ from .ext_overload import (
     run_overload_isolation,
     run_overload_point,
 )
+from .ext_slo import (
+    build_dashboard_bundle,
+    run_critpath,
+    run_slo_fault,
+    run_slo_overload,
+)
 from .fig16_boutique import run_boutique_point, run_fig16, run_table2
 from .report import from_json, load, save, to_csv, to_json
 from . import validation
@@ -38,7 +44,11 @@ __all__ = [
     "to_csv",
     "to_json",
     "validation",
+    "build_dashboard_bundle",
     "run_boutique_point",
+    "run_critpath",
+    "run_slo_fault",
+    "run_slo_overload",
     "run_cycle_point",
     "run_drain_point",
     "run_ext_cycle_breakdown",

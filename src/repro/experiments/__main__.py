@@ -19,6 +19,7 @@ import sys
 import time
 
 from . import (
+    run_critpath,
     run_ext_cycle_breakdown,
     run_ext_fault_recovery,
     run_ext_migration,
@@ -34,6 +35,8 @@ from . import (
     run_multi_ingress,
     run_placement_ablation,
     run_sidecar_ablation,
+    run_slo_fault,
+    run_slo_overload,
     run_table1,
     run_table2,
 )
@@ -118,6 +121,23 @@ EXPERIMENTS = {
         lambda: run_ext_cycle_breakdown(
             configs=("spright", "palladium-dne"),
             clients=8, duration_us=60_000.0),
+    ),
+    "slo": (
+        lambda jobs=None: [run_slo_overload(jobs=jobs),
+                           run_slo_fault(jobs=jobs)],
+        lambda jobs=None: [
+            run_slo_overload(configs=("palladium-dne", "spright"),
+                             multipliers=(0.8, 2.0), jobs=jobs),
+            run_slo_fault(configs=("palladium-dne",
+                                   "palladium-dne-no-recovery"),
+                          jobs=jobs),
+        ],
+    ),
+    "critpath": (
+        lambda jobs=None: run_critpath(client_counts=(20, 40, 80),
+                                       jobs=jobs),
+        lambda jobs=None: run_critpath(client_counts=(20, 80),
+                                       duration_us=60_000.0, jobs=jobs),
     ),
     "overload": (
         lambda jobs=None: [run_ext_overload(jobs=jobs),

@@ -38,6 +38,7 @@ from ..faults import FaultInjector, FaultPlan
 from ..ingress import FIngress, PalladiumIngress, TcpWorkerAdapter
 from ..platform import ElasticPlatform, Tenant
 from ..sim import Environment
+from ..telemetry import BurnWindow, RateRule, Selector, Slo, Telemetry
 from ..workloads import (
     BOUTIQUE_TENANT,
     ClientFleet,
@@ -49,7 +50,8 @@ from ..workloads import (
 from .parallel import parallel_map
 from .runner import ExperimentResult
 
-__all__ = ["run_fault_point", "run_ext_fault_recovery", "FAULT_CONFIGS"]
+__all__ = ["attach_fault_monitor", "run_fault_point",
+           "run_ext_fault_recovery", "FAULT_CONFIGS"]
 
 #: the evaluated configurations (see module docstring)
 FAULT_CONFIGS = ("palladium-dne", "palladium-dne-no-recovery",
@@ -100,6 +102,50 @@ def _build_platform(config: str, env: Environment, cost: CostModel):
     return plat, ingress
 
 
+def attach_fault_monitor(telemetry, step_us: float = 1_000.0,
+                         arm_at_us: float = 0.0):
+    """The SLO bundle for the crash/recovery runs.
+
+    One availability SLO on the boutique tenant: good = responses
+    delivered (plus any admission sheds), total = requests accepted.
+    A dead worker shows up as requests that keep arriving (clients
+    re-dial) while responses stall — sustained budget burn.  A
+    recovered plane takes at most a brief client re-dial dip.
+    """
+    mon = telemetry.attach_monitor(step_us=step_us, arm_at_us=arm_at_us)
+    # The default burn windows assume open-loop traffic.  This fleet is
+    # closed-loop: after a crash every client blocks on its 30 ms
+    # timeout and re-dials 5 ms later, so failures arrive in
+    # synchronized ~35 ms bursts and a millisecond-scale short window
+    # is empty more often than not (the alert would flap).  Size both
+    # windows to cover at least one full retry burst, and keep the
+    # thresholds below the max burn (1/budget = 5 at objective 0.80) —
+    # the default page threshold of 8 would be unreachable.
+    windows = (
+        BurnWindow("fast", long_us=40_000.0, short_us=40_000.0,
+                   threshold=2.0, severity="page"),
+        BurnWindow("slow", long_us=60_000.0, short_us=40_000.0,
+                   threshold=1.5, severity="ticket"),
+    )
+    mon.add_slo(Slo(
+        "slo-availability-boutique", objective=0.80,
+        good=[Selector("ingress_responses_total",
+                       {"tenant": BOUTIQUE_TENANT}),
+              Selector("ingress_admission_rejected_total",
+                       {"tenant": BOUTIQUE_TENANT})],
+        total=[Selector("ingress_requests_total",
+                        {"tenant": BOUTIQUE_TENANT})],
+        windows=windows,
+        # Post-crash the windows see only the retry trickle — a high
+        # min_events would mute exactly the outage we watch for.
+        min_events=5,
+        labels={"tenant": BOUTIQUE_TENANT, "sli": "availability"}))
+    mon.add_rule(RateRule("offered_rps", "ingress_requests_total", 5_000.0))
+    mon.add_rule(RateRule("delivered_rps", "ingress_responses_total",
+                          5_000.0))
+    return mon
+
+
 def run_fault_point(
     config: str,
     clients: int = 12,
@@ -110,19 +156,28 @@ def run_fault_point(
     invoke_timeout_us: float = 15_000.0,
     client_timeout_us: float = 30_000.0,
     cost: Optional[CostModel] = None,
-) -> Dict[str, float]:
+    with_telemetry: bool = False,
+    with_monitor: bool = False,
+) -> Dict[str, object]:
     """One node-crash/restart run; returns goodput + recovery metrics.
 
     Timeline: clients start at ``warmup_us``; worker1 fail-stops at
     ``crash_at_us`` and restarts ``down_us`` later; the run ends
     ``post_us`` after the restart.  The pre/outage/post goodput windows
     are trimmed away from the transition edges so each one measures a
-    steady state.
+    steady state.  ``with_monitor`` implies telemetry and attaches
+    :func:`attach_fault_monitor`; everything outside the ``telemetry``
+    key stays byte-identical to an uninstrumented run.
     """
     recovery = not config.endswith(NO_RECOVERY_SUFFIX)
     base = config[:-len(NO_RECOVERY_SUFFIX)] if not recovery else config
     cost = cost or CostModel()
     env = Environment()
+    telemetry = (Telemetry.install(env)
+                 if with_telemetry or with_monitor else None)
+    if with_monitor:
+        # Arm one slow-long-window past client start, before the crash.
+        attach_fault_monitor(telemetry, arm_at_us=warmup_us + 60_000.0)
     plat, ingress = _build_platform(base, env, cost)
     for runtime in plat.runtimes.values():
         runtime.invoke_timeout_us = invoke_timeout_us
@@ -167,7 +222,7 @@ def run_fault_point(
 
     completed = fleet.total_completed()
     errors = fleet.total_errors()
-    return {
+    metrics: Dict[str, object] = {
         "pre_rps": pre,
         "outage_rps": outage,
         "post_rps": post,
@@ -184,6 +239,9 @@ def run_fault_point(
                             for e in plat.engines.values()),
         "fault_events": len(injector.timeline),
     }
+    if telemetry is not None:
+        metrics["telemetry"] = telemetry
+    return metrics
 
 
 def run_ext_fault_recovery(

@@ -37,17 +37,20 @@ from ..ingress import FIngress, PalladiumIngress, TcpWorkerAdapter
 from ..platform import FunctionSpec, ServerlessPlatform, Tenant
 from ..qos import DROP_CODEL, DROP_TAIL, QueueBounds, qos_for_platform
 from ..sim import Environment
-from ..telemetry import Telemetry
+from ..telemetry import (QuantileRule, RateRule, RatioRule, Selector, Slo,
+                         Telemetry)
 from ..workloads import OpenLoopSource
 
 from .parallel import parallel_map
 from .runner import ExperimentResult
 
 __all__ = [
+    "attach_overload_monitor",
     "run_ext_overload",
     "run_overload_isolation",
     "run_overload_point",
     "CAPACITY_RPS",
+    "DEADLINE_US",
     "OVERLOAD_CONFIGS",
     "TENANTS",
 ]
@@ -201,6 +204,56 @@ def _build(config: str, env: Environment, cost: CostModel):
     return plat, ingress
 
 
+#: SLO objectives by QoS class: (latency, availability).  The class IS
+#: the contract — guaranteed tenants get tight objectives, standard a
+#: looser pair, best-effort next to none (a best-effort burn-rate page
+#: would be a contradiction in terms).
+CLASS_OBJECTIVES = {
+    "guaranteed": (0.95, 0.95),
+    "standard": (0.80, 0.90),
+    "best-effort": (0.60, 0.80),
+}
+
+
+def attach_overload_monitor(telemetry, step_us: float = 1_000.0,
+                            arm_at_us: float = 0.0):
+    """The standard SLO bundle for the overload sweep.
+
+    Per tenant: a latency SLO (delivered responses within the deadline)
+    and an availability SLO where *good* counts both delivered
+    responses and deliberate admission sheds — Palladium rejecting a
+    hog at the edge is the QoS stack working, not an outage, while a
+    baseline silently queueing requests to death burns budget.
+    Objectives come from :data:`CLASS_OBJECTIVES`.  Plus dashboard
+    recording rules (offered/delivered rates, windowed p99, shed
+    ratio).  Returns the attached monitor.
+    """
+    mon = telemetry.attach_monitor(step_us=step_us, arm_at_us=arm_at_us)
+    for name, _, qos_class, _ in TENANTS:
+        latency_obj, avail_obj = CLASS_OBJECTIVES[qos_class]
+        mon.add_slo(Slo(
+            f"slo-latency-{name}", objective=latency_obj,
+            hist_metric="ingress_latency_us", threshold_us=DEADLINE_US,
+            where={"tenant": name}, min_events=20,
+            labels={"tenant": name, "sli": "latency"}))
+        mon.add_slo(Slo(
+            f"slo-availability-{name}", objective=avail_obj,
+            good=[Selector("ingress_responses_total", {"tenant": name}),
+                  Selector("ingress_admission_rejected_total",
+                           {"tenant": name})],
+            total=[Selector("ingress_requests_total", {"tenant": name})],
+            min_events=20,
+            labels={"tenant": name, "sli": "availability"}))
+    mon.add_rule(RateRule("offered_rps", "ingress_requests_total", 5_000.0))
+    mon.add_rule(RateRule("delivered_rps", "ingress_responses_total",
+                          5_000.0))
+    mon.add_rule(QuantileRule("ingress_p99_us", "ingress_latency_us",
+                              0.99, 10_000.0))
+    mon.add_rule(RatioRule("shed_ratio", "ingress_admission_rejected_total",
+                           "ingress_requests_total", 10_000.0, default=0.0))
+    return mon
+
+
 def run_overload_point(
     config: str,
     multiplier: float,
@@ -209,16 +262,26 @@ def run_overload_point(
     cost: Optional[CostModel] = None,
     tenant_multipliers: Optional[Dict[str, float]] = None,
     with_telemetry: bool = False,
+    with_monitor: bool = False,
 ) -> Dict[str, object]:
     """One (config, offered-load) cell of the overload sweep.
 
     ``multiplier`` scales every tenant's offered rate relative to its
     share of :data:`CAPACITY_RPS`; ``tenant_multipliers`` additionally
     scales individual tenants (the isolation study's hog).
+    ``with_monitor`` implies telemetry and attaches the standard SLO
+    bundle (:func:`attach_overload_monitor`); the monitor piggybacks on
+    observations, so everything outside the ``telemetry`` key stays
+    byte-identical to a monitor-off run (the CI determinism gate).
     """
     cost = _throttled(cost or CostModel())
     env = Environment()
-    telemetry = Telemetry.install(env) if with_telemetry else None
+    telemetry = (Telemetry.install(env)
+                 if with_telemetry or with_monitor else None)
+    if with_monitor:
+        # Arm one slow-long-window past traffic start so no burn
+        # window reaches back into the idle warmup.
+        attach_overload_monitor(telemetry, arm_at_us=warmup_us + 60_000.0)
     plat, ingress = _build(config, env, cost)
     ingress.start()
     plat.start()

@@ -33,6 +33,8 @@ def to_json(result: ExperimentResult) -> str:
     }
     if result.metrics:
         payload["metrics"] = result.metrics
+    if result.alerts:
+        payload["alerts"] = result.alerts
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
@@ -51,6 +53,7 @@ def from_json(text: str) -> ExperimentResult:
     for note in payload.get("notes", []):
         result.note(note)
     result.metrics = payload.get("metrics", {})
+    result.alerts = payload.get("alerts", [])
     return result
 
 

@@ -27,6 +27,10 @@ class ExperimentResult:
     #: optional telemetry snapshot (a :meth:`MetricsRegistry.snapshot`
     #: dict) captured when the experiment ran instrumented
     metrics: Dict[str, Any] = field(default_factory=dict)
+    #: optional SLO alert timeline from the monitor: JSON-safe
+    #: transition dicts ({alert, state, ts, window, severity, burn, ...})
+    #: in firing order, tagged with the run that produced them
+    alerts: List[Dict[str, Any]] = field(default_factory=list)
 
     def add_row(self, *values: Any) -> None:
         if len(values) != len(self.columns):
@@ -46,6 +50,13 @@ class ExperimentResult:
         """Attach a metrics registry (or snapshot dict) to the result."""
         snapshot = getattr(registry, "snapshot", None)
         self.metrics = snapshot() if callable(snapshot) else dict(registry)
+
+    def attach_alerts(self, monitor, **tags: Any) -> None:
+        """Append a monitor's alert timeline, tagging every transition
+        with the given run coordinates (e.g. config=..., multiplier=...)."""
+        timeline = getattr(monitor, "timeline", monitor)
+        for transition in timeline:
+            self.alerts.append({**transition, **tags})
 
     def column(self, name: str) -> List[Any]:
         """All values of one column, in row order."""

@@ -363,7 +363,8 @@ class PalladiumIngress:
                 tel.metrics.histogram(
                     "ingress_latency_us", "End-to-end request latency at "
                     "the ingress.", labels=("tenant",)).labels(
-                        tenant).observe(self.env.now - t0)
+                        tenant).observe(self.env.now - t0,
+                                        trace_id=span.trace_id)
                 tel.tracer.end_span(span)
 
         self.env.process(_transit(), name="ingress-ether-tx")

@@ -136,6 +136,12 @@ class ProxyIngress:
     def submit(self, conn: ClientConnection, request: HttpRequest) -> None:
         request.connection_id = conn.conn_id
         self.stats.accepted += 1
+        tel = self.env.telemetry
+        if tel is not None:
+            tel.metrics.counter(
+                "ingress_requests_total", "HTTP requests accepted at the "
+                "ingress.", labels=("tenant",)).labels(
+                    self.resolver(request.path)[0]).inc()
         if self.mode == self.FSTACK:
             worker = rss_pick(self.workers, conn.conn_id)
             worker.inbox.put(("request", (conn, request)))
@@ -174,12 +180,12 @@ class ProxyIngress:
                 yield from fstack.tx(request.wire_bytes + TCP_FRAME_OVERHEAD)
                 self._proxy_to_worker(conn, request, t0)
             elif kind == "respond":
-                conn, response, t0 = payload
+                conn, response, t0, tenant = payload
                 yield from fstack.rx(response.wire_bytes)
                 yield from http.parse(response.wire_bytes)
                 yield from worker.core.work(self.cost.proxy_overhead_us)
                 yield from fstack.tx(response.wire_bytes)
-                self._finish(conn, response, t0)
+                self._finish(conn, response, t0, tenant)
 
     # -- shared proxy plumbing ---------------------------------------------------------------
     def _proxy_to_worker(self, conn: ClientConnection, request: HttpRequest, t0: float) -> None:
@@ -200,7 +206,8 @@ class ProxyIngress:
     def _response_from_worker(self, ctx, body, length):
         """Generator (spawned by the adapter): relay a response to the client."""
         conn, request, t0 = ctx
-        node_name = self.entry_node(self.resolver(request.path)[1])
+        tenant, entry_fn = self.resolver(request.path)
+        node_name = self.entry_node(entry_fn)
         link = self.cluster.fabric_link(node_name, self.node.name)
         response = HttpResponse(status=200, body=body, body_bytes=length,
                                 request_id=request.request_id)
@@ -210,12 +217,13 @@ class ProxyIngress:
             yield from self.http.parse(response.wire_bytes)
             yield from self.cpu.execute(self.cost.proxy_overhead_us)
             yield from self.stack.tx(response.wire_bytes)
-            self._finish(conn, response, t0)
+            self._finish(conn, response, t0, tenant)
         else:
             worker = rss_pick(self.workers, conn.conn_id)
-            worker.inbox.put(("respond", (conn, response, t0)))
+            worker.inbox.put(("respond", (conn, response, t0, tenant)))
 
-    def _finish(self, conn: ClientConnection, response: HttpResponse, t0: float) -> None:
+    def _finish(self, conn: ClientConnection, response: HttpResponse,
+                t0: float, tenant: str = "") -> None:
         """Ethernet transit back to the client (async to the loop)."""
         def _transit():
             yield from self.cluster.ether_down.transmit(response.wire_bytes)
@@ -225,6 +233,15 @@ class ProxyIngress:
             self.stats.completed += 1
             self.latency.record(self.env.now - t0)
             self.throughput.record(self.env.now)
+            tel = self.env.telemetry
+            if tel is not None:
+                tel.metrics.counter(
+                    "ingress_responses_total", "Responses delivered to "
+                    "clients.", labels=("tenant",)).labels(tenant).inc()
+                tel.metrics.histogram(
+                    "ingress_latency_us", "End-to-end request latency at "
+                    "the ingress.", labels=("tenant",)).labels(
+                        tenant).observe(self.env.now - t0)
 
         self.env.process(_transit(), name="proxy-ether-tx")
 

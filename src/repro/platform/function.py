@@ -333,7 +333,9 @@ class FunctionInstance:
                     tel.metrics.histogram(
                         "fn_exec_latency_us", "Handler wall time, request "
                         "dequeue to completion.", labels=("fn",)).labels(
-                            self.spec.name).observe(self.env.now - started)
+                            self.spec.name).observe(
+                                self.env.now - started,
+                                trace_id=ctx.span.trace_id)
             finally:
                 self._work_done()
 

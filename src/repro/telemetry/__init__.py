@@ -14,6 +14,17 @@ Three pillars (ISSUE 2 / the paper's Fig. 4-5 methodology):
     paper's breakdown categories (app / copy / descriptor / protocol /
     scheduling).
 
+Two derived layers build on the pillars (ISSUE 7):
+
+``monitor``
+    Declarative recording rules + per-tenant SLOs with multi-window
+    burn-rate alerts, evaluated in simulated time by piggybacking on
+    metric observations (attach with ``tel.attach_monitor()``).
+``critpath``
+    Post-hoc critical-path analysis over the span forest: per-request
+    stage attribution (queueing / engine.tx / rdma.send / fn.exec /
+    iolib ...) aggregated into p50/p99 tables and sweep-point diffs.
+
 Everything hangs off :class:`Telemetry`, installed on an
 ``Environment`` via ``Telemetry.install(env)``.  When not installed
 (``env.telemetry is None``, the default) every instrumentation site in
@@ -23,20 +34,33 @@ draws random numbers, so even *enabled* telemetry cannot perturb
 results (tested in ``tests/test_telemetry.py``).
 """
 
+from .critpath import CriticalPathReport, analyze, dominant_shift
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .monitor import (BurnWindow, Monitor, QuantileRule, RateRule, RatioRule,
+                      Selector, Slo)
 from .profiler import CYCLE_CATEGORIES, CycleLedger
 from .runtime import Telemetry
 from .spans import Span, SpanTracer, validate_chrome_trace
 
 __all__ = [
     "CYCLE_CATEGORIES",
+    "BurnWindow",
     "Counter",
+    "CriticalPathReport",
     "CycleLedger",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "Monitor",
+    "QuantileRule",
+    "RateRule",
+    "RatioRule",
+    "Selector",
+    "Slo",
     "Span",
     "SpanTracer",
     "Telemetry",
+    "analyze",
+    "dominant_shift",
     "validate_chrome_trace",
 ]

@@ -21,6 +21,18 @@ this is what replaces unbounded per-sample lists on hot paths.
 
 Exporters are deterministic: children and labels are emitted in sorted
 order, so two identical runs produce byte-identical text/JSON.
+
+Two safety valves guard the registry itself:
+
+* a **label-cardinality cap** (:class:`MetricsRegistry`'s
+  ``max_series_per_family``): once a family holds that many distinct
+  label-value tuples, further tuples are routed to a detached overflow
+  child and counted in the ``telemetry_dropped_series_total{family}``
+  self-metric instead of growing the registry without bound;
+* **exemplars** (:meth:`Histogram.observe` with a ``trace_id``): each
+  bucket keeps a tiny deterministic reservoir of ``(value, trace_id)``
+  pairs so a slow bucket links back to a concrete trace — no RNG, the
+  reservoir rotates by observation count.
 """
 
 from __future__ import annotations
@@ -30,12 +42,26 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
 
+#: per-bucket exemplar reservoir size (deterministic rotation, no RNG)
+EXEMPLAR_RESERVOIR = 2
+
 
 def _format_value(value: float) -> str:
     """Prometheus-style number formatting (ints without trailing .0)."""
     if value == int(value) and abs(value) < 1e15:
         return str(int(value))
     return repr(value)
+
+
+def _escape_label_value(value: str) -> str:
+    """Exposition-format label-value escaping: backslash, quote, LF."""
+    return (value.replace("\\", r"\\").replace('"', r'\"')
+            .replace("\n", r"\n"))
+
+
+def _escape_help(text: str) -> str:
+    """HELP lines escape backslash and line feed (quotes stay)."""
+    return text.replace("\\", r"\\").replace("\n", r"\n")
 
 
 class Counter:
@@ -91,7 +117,8 @@ class Histogram:
 
     kind = "histogram"
 
-    __slots__ = ("bounds", "counts", "count", "sum", "min", "max")
+    __slots__ = ("bounds", "counts", "count", "sum", "min", "max",
+                 "_exemplars", "_exemplar_seen")
 
     def __init__(self, low: float = 1.0, high: float = 10_000_000.0,
                  sub_buckets: int = 4):
@@ -115,26 +142,49 @@ class Histogram:
         self.sum = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        #: bucket index -> list of (value, trace_id); lazily populated
+        self._exemplars: Dict[int, List[Tuple[float, int]]] = {}
+        #: bucket index -> exemplar observations ever (drives rotation)
+        self._exemplar_seen: Dict[int, int] = {}
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, trace_id: Optional[int] = None) -> None:
         self.count += 1
         self.sum += value
         if value < self.min:
             self.min = value
         if value > self.max:
             self.max = value
-        self.counts[bisect_left(self.bounds, value)] += 1
+        idx = bisect_left(self.bounds, value)
+        self.counts[idx] += 1
+        if trace_id is not None:
+            seen = self._exemplar_seen.get(idx, 0)
+            self._exemplar_seen[idx] = seen + 1
+            slot = self._exemplars.setdefault(idx, [])
+            if len(slot) < EXEMPLAR_RESERVOIR:
+                slot.append((value, trace_id))
+            else:
+                # Deterministic reservoir: rotate by observation count,
+                # so two identical runs keep identical exemplars.
+                slot[seen % EXEMPLAR_RESERVOIR] = (value, trace_id)
 
     def bucket_index(self, value: float) -> int:
         """Index of the bucket ``observe(value)`` lands in."""
         return bisect_left(self.bounds, value)
 
     def quantile(self, q: float) -> float:
-        """Approximate quantile ``q`` in [0, 1] from bucket bounds."""
+        """Approximate quantile ``q`` in [0, 1] from bucket bounds.
+
+        Edge behaviour: an empty histogram returns 0.0; ``q == 0``
+        returns the observed minimum, ``q == 1`` the observed maximum;
+        every answer is clamped into ``[min, max]`` so a sparse bucket
+        layout can never report a value outside what was observed.
+        """
         if not 0 <= q <= 1:
             raise ValueError(f"quantile out of range: {q}")
         if self.count == 0:
             return 0.0
+        if q == 0:
+            return self.min
         rank = q * self.count
         seen = 0
         for i, c in enumerate(self.counts):
@@ -142,11 +192,22 @@ class Histogram:
             if seen >= rank and c:
                 if i == len(self.bounds):  # +Inf bucket
                     return self.max
-                return min(self.bounds[i], self.max)
+                return min(max(self.bounds[i], self.min), self.max)
         return self.max
 
+    def exemplars(self) -> List[Tuple[float, float, int]]:
+        """All exemplars as ``(bucket_bound, value, trace_id)`` rows,
+        sorted by bucket (the +Inf bucket reports ``inf``)."""
+        rows: List[Tuple[float, float, int]] = []
+        for idx in sorted(self._exemplars):
+            bound = (self.bounds[idx] if idx < len(self.bounds)
+                     else float("inf"))
+            for value, trace_id in self._exemplars[idx]:
+                rows.append((bound, value, trace_id))
+        return rows
+
     def snapshot(self):
-        return {
+        snap = {
             "count": self.count,
             "sum": self.sum,
             "min": self.min if self.count else 0.0,
@@ -158,19 +219,36 @@ class Histogram:
             ],
             "overflow": self.counts[-1],
         }
+        if self._exemplars:
+            snap["exemplars"] = [
+                [bound if bound != float("inf") else "+Inf", value, trace_id]
+                for bound, value, trace_id in self.exemplars()
+            ]
+        return snap
 
 
 class MetricFamily:
-    """All children of one metric name (one per label-value tuple)."""
+    """All children of one metric name (one per label-value tuple).
+
+    ``max_series`` caps the distinct label-value tuples this family may
+    hold; past the cap, new tuples share one *detached* overflow child
+    (kept out of every exporter) and the registry's
+    ``telemetry_dropped_series_total{family}`` self-metric counts the
+    lost observations' series so the overflow is visible.
+    """
 
     def __init__(self, name: str, help: str, labelnames: Sequence[str],
-                 factory, **factory_kwargs):
+                 factory, registry=None, max_series: int = 0,
+                 **factory_kwargs):
         self.name = name
         self.help = help
         self.labelnames = tuple(labelnames)
         self._factory = factory
         self._factory_kwargs = factory_kwargs
         self._children: Dict[Tuple[str, ...], object] = {}
+        self._registry = registry
+        self._max_series = max_series
+        self._overflow = None
 
     @property
     def kind(self) -> str:
@@ -184,8 +262,18 @@ class MetricFamily:
         key = tuple(str(v) for v in values)
         child = self._children.get(key)
         if child is None:
+            if self._max_series and len(self._children) >= self._max_series:
+                return self._dropped_series()
             child = self._children[key] = self._factory(**self._factory_kwargs)
         return child
+
+    def _dropped_series(self):
+        """The shared sink for over-cap label tuples (never exported)."""
+        if self._registry is not None:
+            self._registry._count_dropped_series(self.name)
+        if self._overflow is None:
+            self._overflow = self._factory(**self._factory_kwargs)
+        return self._overflow
 
     # -- unlabeled convenience: family acts as its own single child ----------
     def inc(self, amount: float = 1.0) -> None:
@@ -207,20 +295,54 @@ class MetricFamily:
 
 
 class MetricsRegistry:
-    """The process-wide (per-``Telemetry``) collection of families."""
+    """The process-wide (per-``Telemetry``) collection of families.
 
-    def __init__(self):
+    ``max_series_per_family`` is the label-cardinality guard (see
+    :class:`MetricFamily`); the default is generous — real label
+    vocabularies here are tenants/nodes/engines, tens at most.
+
+    ``observer`` is the piggyback hook for the SLO monitor
+    (:mod:`repro.telemetry.monitor`): when set, it is invoked (with no
+    arguments) on every family lookup — i.e. on every instrumentation
+    site that fires — which is what lets the monitor evaluate rules in
+    *simulated* time without ever creating a simulation event.
+    """
+
+    #: the self-metric family counting series lost to the cap
+    DROPPED_SERIES = "telemetry_dropped_series_total"
+
+    def __init__(self, max_series_per_family: int = 1024):
         self._families: Dict[str, MetricFamily] = {}
+        self.max_series_per_family = max_series_per_family
+        self.observer = None
+        self._counting_drops = False
+
+    def _count_dropped_series(self, family_name: str) -> None:
+        if self._counting_drops:  # self-metric overflow: never recurse
+            return
+        self._counting_drops = True
+        try:
+            self._family(
+                self.DROPPED_SERIES,
+                "Observations lost to the per-family label-cardinality "
+                "cap.", ("family",), Counter).labels(family_name).inc()
+        finally:
+            self._counting_drops = False
 
     def _family(self, name: str, help: str, labels: Sequence[str],
                 factory, **kwargs) -> MetricFamily:
+        observer = self.observer
+        if observer is not None:
+            observer()
         family = self._families.get(name)
         if family is not None:
             if family.kind != factory.kind:
                 raise TypeError(
                     f"metric {name!r} already registered as {family.kind}")
             return family
-        family = MetricFamily(name, help, labels, factory, **kwargs)
+        family = MetricFamily(name, help, labels, factory, registry=self,
+                              max_series=self.max_series_per_family,
+                              **kwargs)
         self._families[name] = family
         return family
 
@@ -269,11 +391,12 @@ class MetricsRegistry:
         """Prometheus exposition-format dump (sorted, deterministic)."""
         lines: List[str] = []
         for family in self.families():
-            lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
             lines.append(f"# TYPE {family.name} {family.kind}")
             for key, child in family.children():
                 label_str = ",".join(
-                    f'{n}="{v}"' for n, v in zip(family.labelnames, key))
+                    f'{n}="{_escape_label_value(v)}"'
+                    for n, v in zip(family.labelnames, key))
                 if family.kind == "histogram":
                     cumulative = 0
                     for bound, count in zip(child.bounds, child.counts):

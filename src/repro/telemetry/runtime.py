@@ -28,13 +28,18 @@ __all__ = ["Telemetry"]
 
 
 class Telemetry:
-    """Bundles the three pillars behind one switch."""
+    """Bundles the three pillars behind one switch.
+
+    A fourth, optional consumer — the SLO :class:`Monitor` — attaches
+    with :meth:`attach_monitor` and hangs off ``self.monitor``.
+    """
 
     def __init__(self, env, host_ghz: float = 3.7, max_spans: int = 250_000):
         self.env = env
         self.metrics = MetricsRegistry()
         self.tracer = SpanTracer(env, max_spans=max_spans)
         self.cycles = CycleLedger(host_ghz=host_ghz)
+        self.monitor = None
 
     @classmethod
     def install(cls, env, **kwargs) -> "Telemetry":
@@ -42,6 +47,13 @@ class Telemetry:
         tel = cls(env, **kwargs)
         env.telemetry = tel
         return tel
+
+    def attach_monitor(self, **kwargs):
+        """Attach an SLO monitor (idempotent; returns it)."""
+        if self.monitor is None:
+            from .monitor import Monitor
+            Monitor.install(self, **kwargs)
+        return self.monitor
 
     @staticmethod
     def of(env) -> Optional["Telemetry"]:

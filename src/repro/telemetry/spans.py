@@ -96,6 +96,10 @@ class SpanTracer:
         #: fault incidents: global instant events, also mirrored onto
         #: every open root span
         self.incidents: List[Dict[str, Any]] = []
+        #: annotation marks: global instant events from observers (the
+        #: SLO monitor's alert firing/resolve instants land here); each
+        #: entry is ``{"name", "ts", "category", **args}``
+        self.marks: List[Dict[str, Any]] = []
         self._open_roots: Dict[int, Span] = {}
         self._next_trace = 1
         self._next_span = 1
@@ -142,6 +146,17 @@ class SpanTracer:
         self.incidents.append(record)
         for span in self._open_roots.values():
             span.event(f"fault:{kind}", self.env.now, target=target)
+
+    def mark(self, name: str, category: str = "mark", **args) -> None:
+        """Record a global annotation instant (e.g. an alert firing).
+
+        Purely additive: marks only affect exports, never the
+        simulation — the no-perturb guarantee extends to them.
+        """
+        record: Dict[str, Any] = {"name": name, "ts": self.env.now,
+                                  "category": category}
+        record.update(args)
+        self.marks.append(record)
 
     # -- queries (used by tests and experiments) -----------------------------
     def trace_ids(self) -> List[int]:
@@ -259,6 +274,15 @@ class SpanTracer:
                 "name": f"fault:{inc['kind']}", "cat": "fault", "ph": "i",
                 "ts": inc["ts"], "s": "g", "pid": 0, "tid": 0,
                 "args": {"target": inc["target"]},
+            })
+        for mark in self.marks:
+            events.append({
+                "name": mark["name"], "cat": mark.get("category", "mark"),
+                "ph": "i", "ts": mark["ts"], "s": "g", "pid": 0, "tid": 0,
+                "args": {k: (v if isinstance(v, (int, float, bool))
+                             else str(v))
+                         for k, v in mark.items()
+                         if k not in ("name", "ts", "category")},
             })
         return {
             "traceEvents": events,

@@ -1,0 +1,223 @@
+"""Critical-path attribution: stage mapping, the deepest-active-span
+sweep, report quantiles, and the dominant-stage shift.
+
+The synthetic tests build tiny span forests on a fake clock and check
+the attribution arithmetic exactly; the acceptance test runs a real
+instrumented boutique point and requires >= 90% of the p99 latency to
+land in *named* stages.
+"""
+
+import pytest
+
+from repro.experiments import run_boutique_point
+from repro.telemetry import CriticalPathReport, SpanTracer, analyze, dominant_shift
+from repro.telemetry.critpath import stage_of
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+
+def span_at(tracer, clock, name, start, end, parent=None, category=""):
+    clock.now = start
+    s = tracer.start_span(name, parent=parent, category=category)
+    clock.now = end
+    tracer.end_span(s)
+    return s
+
+
+@pytest.fixture
+def clock_tracer():
+    clock = FakeClock()
+    return clock, SpanTracer(clock)
+
+
+class TestStageOf:
+    def test_known_prefixes(self, clock_tracer):
+        clock, tracer = clock_tracer
+        cases = [
+            ("request:/home", "", "queueing"),
+            ("invoke:cart", "", "queueing"),
+            ("engine.tx", "", "engine.tx"),
+            ("engine.rx", "", "engine.rx"),
+            ("rdma.write", "", "rdma.send"),
+            ("fn.exec:frontend", "", "fn.exec"),
+            ("fn.invoke:cart", "", "fn.invoke"),
+            ("iolib.send", "", "iolib"),
+            ("gw.accept", "", "ingress"),
+            ("migrate.state", "", "migration"),
+        ]
+        for name, category, stage in cases:
+            s = span_at(tracer, clock, name, 0, 1, category=category)
+            assert stage_of(s) == stage, name
+
+    def test_category_fallbacks_and_other(self, clock_tracer):
+        clock, tracer = clock_tracer
+        assert stage_of(span_at(tracer, clock, "weird", 0, 1,
+                                category="rdma")) == "rdma.send"
+        assert stage_of(span_at(tracer, clock, "weird", 0, 1,
+                                category="function")) == "fn.exec"
+        assert stage_of(span_at(tracer, clock, "weird.thing", 0, 1,
+                                category="custom")) == "other:custom"
+
+
+class TestAttribution:
+    def test_childless_root_is_pure_queueing(self, clock_tracer):
+        clock, tracer = clock_tracer
+        span_at(tracer, clock, "request:/x", 0.0, 50.0)
+        report = analyze(tracer)
+        assert len(report) == 1
+        assert report.requests[0]["stages"] == {"queueing": 50.0}
+
+    def test_gaps_around_a_child_are_queueing(self, clock_tracer):
+        clock, tracer = clock_tracer
+        clock.now = 0.0
+        root = tracer.start_span("request:/x")
+        span_at(tracer, clock, "fn.exec:f", 10.0, 30.0, parent=root)
+        clock.now = 40.0
+        tracer.end_span(root)
+        stages = analyze(tracer).requests[0]["stages"]
+        assert stages == {"queueing": 20.0, "fn.exec": 20.0}
+
+    def test_child_outliving_its_parent_still_attributes(self, clock_tracer):
+        # The causality-chain shape: rdma.send hands off to engine.rx
+        # which outlives it, then fn.exec outlives that — each instant
+        # must charge the deepest span active at that instant.
+        clock, tracer = clock_tracer
+        clock.now = 0.0
+        root = tracer.start_span("request:/x")
+        clock.now = 0.0
+        rdma = tracer.start_span("rdma.send", parent=root)
+        clock.now = 5.0
+        rx = tracer.start_span("engine.rx", parent=rdma)
+        clock.now = 6.0
+        tracer.end_span(rdma)
+        clock.now = 10.0
+        fn = tracer.start_span("fn.exec:f", parent=rx)
+        clock.now = 12.0
+        tracer.end_span(rx)
+        clock.now = 90.0
+        tracer.end_span(fn)
+        clock.now = 100.0
+        tracer.end_span(root)
+        stages = analyze(tracer).requests[0]["stages"]
+        # 0-5 rdma (depth 1), 5-10 engine.rx (deeper than rdma in
+        # 5-6), 10-90 fn.exec (deepest), 90-100 root self = queueing
+        assert stages["rdma.send"] == pytest.approx(5.0)
+        assert stages["engine.rx"] == pytest.approx(5.0)
+        assert stages["fn.exec"] == pytest.approx(80.0)
+        assert stages["queueing"] == pytest.approx(10.0)
+        assert sum(stages.values()) == pytest.approx(100.0)
+
+    def test_unfinished_children_are_ignored(self, clock_tracer):
+        clock, tracer = clock_tracer
+        clock.now = 0.0
+        root = tracer.start_span("request:/x")
+        clock.now = 2.0
+        tracer.start_span("fn.exec:f", parent=root)  # never ended
+        clock.now = 10.0
+        tracer.end_span(root)
+        stages = analyze(tracer).requests[0]["stages"]
+        assert stages == {"queueing": 10.0}
+
+    def test_unfinished_roots_and_foreign_roots_excluded(self, clock_tracer):
+        clock, tracer = clock_tracer
+        clock.now = 0.0
+        tracer.start_span("request:/open")  # never finished
+        span_at(tracer, clock, "gc.sweep", 0.0, 5.0)  # not a request
+        span_at(tracer, clock, "request:/done", 0.0, 5.0)
+        report = analyze(tracer)
+        assert len(report) == 1
+        assert report.requests[0]["name"] == "request:/done"
+
+    def test_stage_totals_cover_every_request_exactly(self, clock_tracer):
+        clock, tracer = clock_tracer
+        for i in range(5):
+            t0 = i * 100.0
+            clock.now = t0
+            root = tracer.start_span("request:/x")
+            span_at(tracer, clock, "fn.exec:f", t0 + 1.0, t0 + 7.0,
+                    parent=root)
+            clock.now = t0 + 10.0
+            tracer.end_span(root)
+        for req in analyze(tracer).requests:
+            assert sum(req["stages"].values()) == pytest.approx(
+                req["total_us"])
+
+
+class TestReport:
+    def _report(self, totals):
+        return CriticalPathReport([
+            {"trace_id": i, "name": "request:/x", "total_us": t,
+             "stages": {"fn.exec": t * 0.7, "queueing": t * 0.3}}
+            for i, t in enumerate(totals)
+        ])
+
+    def test_quantile_request_picks_sorted_index(self):
+        report = self._report([30.0, 10.0, 20.0, 40.0])
+        assert report.quantile_request(0.0)["total_us"] == 10.0
+        assert report.quantile_request(0.5)["total_us"] == 30.0
+        assert report.quantile_request(1.0)["total_us"] == 40.0
+
+    def test_empty_report_is_graceful(self):
+        report = CriticalPathReport([])
+        assert report.quantile_request(0.5) is None
+        assert report.stage_shares(0.99) == {}
+        assert report.dominant_stage() == ("", 0.0)
+        assert report.named_coverage() == 0.0
+        assert report.table() == []
+
+    def test_quantile_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            self._report([1.0]).quantile_request(1.5)
+
+    def test_named_coverage_excludes_other(self):
+        report = CriticalPathReport([{
+            "trace_id": 1, "name": "request:/x", "total_us": 10.0,
+            "stages": {"fn.exec": 6.0, "other:gc": 4.0},
+        }])
+        assert report.named_coverage(0.99) == pytest.approx(0.6)
+
+    def test_table_lists_stages_in_canonical_order(self):
+        rows = self._report([10.0, 20.0]).table()
+        assert [r["stage"] for r in rows] == ["queueing", "fn.exec"]
+        assert rows[1]["p99_share"] == pytest.approx(0.7)
+        assert rows[1]["mean_share"] == pytest.approx(0.7)
+
+    def test_dominant_shift_flags_transitions(self):
+        low = self._report([10.0])
+        high = CriticalPathReport([{
+            "trace_id": 1, "name": "request:/x", "total_us": 100.0,
+            "stages": {"queueing": 80.0, "fn.exec": 20.0},
+        }])
+        rows = dominant_shift({"1x": low, "2x": low, "4x": high})
+        assert [r["shifted"] for r in rows] == [False, False, True]
+        assert rows[2]["dominant_stage"] == "queueing"
+
+
+class TestBoutiqueAcceptance:
+    @pytest.fixture(scope="class")
+    def report(self):
+        metrics = run_boutique_point(
+            "palladium-dne", "Home Query", clients=4,
+            duration_us=40_000.0, with_telemetry=True)
+        return analyze(metrics["telemetry"].tracer)
+
+    def test_named_stages_cover_90pct_of_p99(self, report):
+        assert len(report) > 50
+        assert report.named_coverage(0.99) >= 0.90
+
+    def test_attribution_is_exhaustive(self, report):
+        for req in report.requests:
+            assert sum(req["stages"].values()) == pytest.approx(
+                req["total_us"], rel=1e-9)
+
+    def test_to_dict_is_json_safe_and_complete(self, report):
+        import json
+        d = json.loads(json.dumps(report.to_dict()))
+        assert d["requests"] == len(report)
+        assert d["p99_total_us"] >= d["p50_total_us"] > 0
+        assert d["table"]
+        stages = {row["stage"] for row in d["table"]}
+        assert "fn.exec" in stages

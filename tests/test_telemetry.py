@@ -195,6 +195,145 @@ class TestHistogram:
             reg.gauge("x_total")
 
 
+class TestQuantileEdges:
+    def test_empty_histogram_reports_zero(self):
+        h = Histogram(low=1.0, high=16.0, sub_buckets=2)
+        assert h.quantile(0.0) == 0.0
+        assert h.quantile(0.5) == 0.0
+        assert h.quantile(1.0) == 0.0
+
+    def test_q0_is_min_and_q1_is_max(self):
+        h = Histogram(low=1.0, high=16.0, sub_buckets=2)
+        for v in (0.3, 2.0, 7.0):
+            h.observe(v)
+        assert h.quantile(0.0) == 0.3
+        assert h.quantile(1.0) == 7.0
+
+    def test_single_sample_answers_every_quantile(self):
+        h = Histogram(low=1.0, high=16.0, sub_buckets=2)
+        h.observe(3.7)
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == pytest.approx(3.7, rel=0.25)
+
+    def test_overflow_bucket_reports_observed_max(self):
+        # All mass past the top bound: the +Inf bucket must answer with
+        # the observed max, not a bucket bound.
+        h = Histogram(low=1.0, high=16.0, sub_buckets=2)
+        for v in (100.0, 250.0, 999.0):
+            h.observe(v)
+        assert h.quantile(0.5) == 999.0
+        assert h.quantile(1.0) == 999.0
+
+    def test_answers_clamp_into_observed_range(self):
+        # A sparse layout can never report outside [min, max].
+        h = Histogram(low=1.0, high=1024.0, sub_buckets=1)
+        for v in (5.0, 5.5, 6.0):
+            h.observe(v)
+        for q in (0.0, 0.5, 1.0):
+            assert 5.0 <= h.quantile(q) <= 6.0
+
+    def test_out_of_range_quantile_raises(self):
+        h = Histogram()
+        with pytest.raises(ValueError):
+            h.quantile(-0.01)
+        with pytest.raises(ValueError):
+            h.quantile(1.01)
+
+
+class TestPrometheusEscaping:
+    def test_label_values_escape_specials(self):
+        reg = MetricsRegistry()
+        c = reg.counter("odd_total", "Odd labels.", labels=("path",))
+        c.labels('say "hi"\\now\nplease').inc()
+        text = reg.prometheus_text()
+        assert r'path="say \"hi\"\\now\nplease"' in text
+        assert "\n\n" not in text  # no raw newline leaked into a line
+
+    def test_help_escapes_backslash_and_newline_keeps_quotes(self):
+        reg = MetricsRegistry()
+        reg.counter("h_total", 'back\\slash and\nnewline "quoted"')
+        text = reg.prometheus_text()
+        assert r'# HELP h_total back\\slash and\nnewline "quoted"' in text
+
+    def test_escaping_round_trips_each_line_parseable(self):
+        reg = MetricsRegistry()
+        reg.counter("t_total", "Tricky.", labels=("k",)).labels('a\\b"c').inc(2)
+        for line in reg.prometheus_text().splitlines():
+            assert line == line.strip()
+            if not line.startswith("#"):
+                # value separates from the series by a single space
+                series, value = line.rsplit(" ", 1)
+                assert float(value) == 2.0
+                assert series.endswith("}")
+
+
+class TestExemplars:
+    def test_reservoir_keeps_value_and_trace_id(self):
+        h = Histogram(low=1.0, high=16.0, sub_buckets=2)
+        h.observe(2.0, trace_id=7)
+        h.observe(100.0, trace_id=9)
+        rows = h.exemplars()
+        assert (2.0, 2.0, 7) in rows
+        assert (float("inf"), 100.0, 9) in rows
+
+    def test_rotation_is_deterministic(self):
+        from repro.telemetry.metrics import EXEMPLAR_RESERVOIR
+
+        def fill():
+            h = Histogram(low=1.0, high=16.0, sub_buckets=2)
+            for i in range(10):
+                h.observe(2.0, trace_id=100 + i)
+            return h.exemplars()
+
+        rows = fill()
+        assert rows == fill()  # identical runs, identical exemplars
+        assert len(rows) == EXEMPLAR_RESERVOIR
+
+    def test_no_trace_id_no_exemplar(self):
+        h = Histogram()
+        h.observe(5.0)
+        assert h.exemplars() == []
+        assert "exemplars" not in h.snapshot()
+
+    def test_snapshot_serializes_inf_bound(self):
+        h = Histogram(low=1.0, high=16.0, sub_buckets=2)
+        h.observe(99.0, trace_id=3)
+        snap = h.snapshot()
+        assert snap["exemplars"] == [["+Inf", 99.0, 3]]
+        json.dumps(snap)  # JSON-safe
+
+
+class TestCardinalityGuard:
+    def test_overflow_tuples_share_a_detached_child(self):
+        reg = MetricsRegistry(max_series_per_family=2)
+        c = reg.counter("req_total", labels=("tenant",))
+        c.labels("a").inc()
+        c.labels("b").inc()
+        c.labels("c").inc()   # over the cap
+        c.labels("d").inc(2)  # shares the same overflow sink
+        exported = {key for key, _ in reg.get("req_total").children()}
+        assert exported == {("a",), ("b",)}
+        assert 'tenant="c"' not in reg.prometheus_text()
+
+    def test_drops_counted_in_self_metric(self):
+        reg = MetricsRegistry(max_series_per_family=1)
+        c = reg.counter("req_total", labels=("tenant",))
+        c.labels("a").inc()
+        c.labels("b").inc()
+        c.labels("b").inc()
+        dropped = reg.get(MetricsRegistry.DROPPED_SERIES)
+        assert dropped is not None
+        assert dropped.value("req_total") == 2.0
+
+    def test_capped_family_keeps_existing_series_working(self):
+        reg = MetricsRegistry(max_series_per_family=1)
+        c = reg.counter("req_total", labels=("tenant",))
+        c.labels("a").inc()
+        c.labels("b").inc()  # dropped
+        c.labels("a").inc()  # still the real child
+        assert c.value("a") == 2.0
+
+
 def _golden_registry() -> MetricsRegistry:
     """A small hand-built registry with stable, exporter-covering state."""
     reg = MetricsRegistry()
