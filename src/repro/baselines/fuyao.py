@@ -89,7 +89,7 @@ class FuyaoEngine(NetworkEngine):
 
     def _core_thread(self, epoch):
         """Acquire slot credits from each peer's RDMA pool (ring setup)."""
-        yield self.env.timeout(self.cost.rc_setup_us)  # connection setup
+        yield from self.conn_mgr.cp.bootstrap()  # connection setup
         for remote_node, tenant in self._warm_peers:
             yield from self.conn_mgr.warm_up(remote_node, tenant, 1)
             peer = self.peers.get(remote_node)

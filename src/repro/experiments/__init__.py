@@ -7,6 +7,11 @@ from .fig12_primitives import run_fig12
 from .fig13_ingress import run_fig13
 from .fig14_scaling import run_fig14
 from .fig15_tenancy import run_fig15, run_tenancy
+from .ext_conn_churn import (
+    run_ceiling_point,
+    run_churn_point,
+    run_ext_conn_churn,
+)
 from .ext_cycle_breakdown import (
     run_cycle_point,
     run_ext_cycle_breakdown,
@@ -49,7 +54,10 @@ __all__ = [
     "run_critpath",
     "run_slo_fault",
     "run_slo_overload",
+    "run_ceiling_point",
+    "run_churn_point",
     "run_cycle_point",
+    "run_ext_conn_churn",
     "run_drain_point",
     "run_ext_cycle_breakdown",
     "run_ext_fault_recovery",

@@ -20,6 +20,7 @@ import time
 
 from . import (
     run_critpath,
+    run_ext_conn_churn,
     run_ext_cycle_breakdown,
     run_ext_fault_recovery,
     run_ext_migration,
@@ -115,6 +116,13 @@ EXPERIMENTS = {
             state_kbs=(64, 4096), clients=6,
             move_at_us=80_000.0, disruption_us=50_000.0,
             post_us=80_000.0, jobs=jobs),
+    ),
+    "conn-churn": (
+        lambda jobs=None: run_ext_conn_churn(jobs=jobs),
+        lambda jobs=None: run_ext_conn_churn(
+            scenarios=("cold", "warm-fixed", "shared"),
+            multipliers=(0.5, 2.0), day_us=600_000.0,
+            max_instances=400, jobs=jobs),
     ),
     "cycle-breakdown": (
         run_ext_cycle_breakdown,

@@ -109,6 +109,13 @@ class FaultInjector:
                 cause="injected qp error",
             )
             return failed
+        if kind in ("cp-throttle", "cp-restore"):
+            cp = self.platform.fabric.control_plane(event.target)
+            if kind == "cp-throttle":
+                cp.set_ceiling(event.params["ops_per_sec"])
+                return cp.ops_per_sec
+            cp.set_ceiling(cp.config.ops_per_sec)
+            return cp.ops_per_sec
         if kind == "pool-exhaust":
             node, tenant = event.target.split(":", 1)
             pool = self.platform.pool_for(tenant, node)

@@ -27,6 +27,7 @@ KINDS = frozenset({
     "link-down", "link-up",
     "link-degrade", "link-restore",
     "qp-error",
+    "cp-throttle", "cp-restore",
     "pool-exhaust", "pool-release",
     "node-drain",
 })
@@ -104,6 +105,21 @@ class FaultPlan:
         self.add(FaultEvent(at_us, "qp-error", node,
                             {"remote": remote, "tenant": tenant,
                              "count": count}))
+        return self
+
+    def cp_throttle(self, at_us: float, node: str, ops_per_sec: float,
+                    duration_us: Optional[float] = None) -> "FaultPlan":
+        """Clamp a node's RDMA control-plane verbs ceiling.
+
+        Models degraded RNIC firmware / a management-path brownout:
+        QP setup and MR registration commands on ``node`` queue behind
+        an ``ops_per_sec`` FIFO until ``cp-restore`` lifts the clamp.
+        The data plane is untouched — established QPs keep flowing.
+        """
+        self.add(FaultEvent(at_us, "cp-throttle", node,
+                            {"ops_per_sec": ops_per_sec}))
+        if duration_us is not None:
+            self.add(FaultEvent(at_us + duration_us, "cp-restore", node))
         return self
 
     def node_drain(self, at_us: float, node: str,

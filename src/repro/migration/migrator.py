@@ -181,15 +181,16 @@ class LiveMigrator:
             yield from dst_runtime.node.soc_dma.transfer(state_bytes)
         dst_engine = dst_runtime.engine
         if dst_engine is not None:
-            # Re-register the staging image with the target RNIC: the
-            # MTT entry count (hugepage-backed) drives the cost, and
-            # the entries land in the MR table like any pool's.
-            hugepage = dst_runtime.node.spec.hugepage_bytes
-            entries = max(1, -(-state_bytes // hugepage))
-            record.mtt_entries = entries
-            yield from dst_runtime.node.cpu.execute(
-                cost.mr_register_time(entries))
-            region = dst_engine.rnic.mrt.register_region(tenant, entries)
+            # Re-register the staging image with the target RNIC via
+            # the node's control plane: the MTT entry count (hugepage-
+            # backed) drives the cost, the charge lands on the target
+            # host CPU, and the entries count toward the MTT cache
+            # like any pool's.
+            cp = plat.fabric.control_plane(dst_node)
+            region = yield from cp.register_region(
+                tenant, state_bytes, cpu=dst_runtime.node.cpu,
+                hugepage_bytes=dst_runtime.node.spec.hugepage_bytes)
+            record.mtt_entries = region.mtt_entries
             # Promote pooled shadow QPs toward every live peer so the
             # instance's traffic flows the moment routes flip (§3.3:
             # activation is local and cheap; the pool spares us the RC
@@ -207,7 +208,7 @@ class LiveMigrator:
             # The image is materialized into the tenant pool's arena
             # once the instance resumes; release the staging region so
             # repeated migrations do not accrete MTT state.
-            dst_engine.rnic.mrt.deregister_region(region)
+            cp.deregister_region(region)
         self._end(tel, span)
 
         # -- phase 5: the flip (atomic — no simulated time passes) ------

@@ -68,6 +68,7 @@ class ServerlessPlatform:
         sidecar_us: Optional[float] = None,
         intra_ipc_us: Optional[float] = None,
         recv_buffers: int = 128,
+        cp_config=None,
     ):
         self.env = env
         self.cost = cost or CostModel()
@@ -75,6 +76,14 @@ class ServerlessPlatform:
         self.fabric = RdmaFabric(env, self.cluster, self.cost)
         self.coordinator = Coordinator()
         self.recv_buffers = recv_buffers
+        # Pre-register the control-plane config for every endpoint
+        # before any engine builds its connection manager (first
+        # caller wins in the fabric registry).  None keeps the flat
+        # compatibility default — byte-identical to the historical
+        # one-timeout cost model.
+        if cp_config is not None:
+            for node_name in self.cluster.nodes:
+                self.fabric.control_plane(node_name, cp_config)
 
         self.runtimes: Dict[str, NodeRuntime] = {}
         self.engines: Dict[str, NetworkEngine] = {}
@@ -171,8 +180,15 @@ class ServerlessPlatform:
             )
 
     # -- deployment -----------------------------------------------------------
-    def deploy(self, spec: FunctionSpec, node_name: str) -> FunctionInstance:
-        """Deploy a function instance onto a worker node."""
+    def deploy(self, spec: FunctionSpec, node_name: str,
+               publish_routes: bool = True) -> FunctionInstance:
+        """Deploy a function instance onto a worker node.
+
+        ``publish_routes=False`` is the two-phase variant the paid
+        provisioning path uses: placement is declared but no route
+        table learns the function until the caller drives
+        ``coordinator.function_published`` (after QP+MR setup).
+        """
         if spec.name in self.functions:
             raise ValueError(f"function {spec.name!r} already deployed")
         if spec.tenant not in self.tenants:
@@ -185,7 +201,10 @@ class ServerlessPlatform:
         # where the function is not local (§3.1)
         for other in self.runtimes.values():
             other.endpoint_tenants.setdefault(spec.name, spec.tenant)
-        self.coordinator.function_created(spec.name, node_name)
+        if publish_routes:
+            self.coordinator.function_created(spec.name, node_name)
+        else:
+            self.coordinator.function_declared(spec.name, node_name)
         self.functions[spec.name] = instance
         if self._started:
             instance.start()

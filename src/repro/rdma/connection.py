@@ -1,11 +1,20 @@
 """RC connection management with pooling and shadow QPs (§3.3).
 
 Establishing an RC connection costs tens of milliseconds, so the DNE
-keeps a pool of pre-established connections per (remote node, tenant)
+keeps a pool of pre-established connections per (remote node, scope)
 and only *activates* them when they carry work.  Inactive (shadow) QPs
 consume no RNIC resources; the node-wide count of active QPs is what
 the RNIC's thrash model watches.  Activation needs no cross-node state
 synchronization (RoGUE's scheme), only a small local cost.
+
+All simulated *time* for establishment and MR registration is charged
+by the node's :class:`~repro.rdma.controlplane.RdmaControlPlane` — the
+manager here owns pooling, sharing scope, pre-warm policy, and fault
+recovery, never the raw costs.  Pool scope is the tenant by default
+(every function of a tenant multiplexes the same QPs through the DNE
+proxy); ``share_scope="function"`` in the control-plane config gives
+each function a private pool instead, the cold-start baseline the
+connection-churn experiment measures against.
 
 Failure handling: a QP that errors out (peer crash, injected QP error)
 is *terminal* — it is evicted from the pool on the next touch and never
@@ -21,10 +30,18 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..config import CostModel
 from ..sim import Environment
 
+from .controlplane import (
+    ControlPlaneConfig,
+    PrewarmPolicy,
+    make_prewarm_policy,
+)
 from .fabric import RdmaFabric
 from .qp import QPState, QueuePair
 
 __all__ = ["ConnectionManager"]
+
+#: cold-connect timestamps kept per pool for the predictive policy
+_DEMAND_HISTORY = 64
 
 
 class ConnectionManager:
@@ -41,11 +58,19 @@ class ConnectionManager:
         reconnect_base_us: float = 1_000.0,
         reconnect_cap_us: float = 64_000.0,
         tenant_retry_budget: Optional[int] = None,
+        config: Optional[ControlPlaneConfig] = None,
+        prewarm: Optional[PrewarmPolicy] = None,
     ):
         self.env = env
         self.fabric = fabric
         self.node = node
         self.cost = cost
+        #: the node-global control plane charging all setup costs
+        self.cp = fabric.control_plane(node, config)
+        self.config = self.cp.config
+        #: pluggable shadow-pool pre-warm policy; the default "none"
+        #: policy keeps the maintenance loop entirely inert
+        self.prewarm = prewarm or make_prewarm_policy(self.config)
         self.conns_per_peer = conns_per_peer
         #: maximum *active* QPs a single tenant may hold node-wide.
         #: The DNE's answer to the rogue tenant of §2.1 that "could
@@ -64,7 +89,12 @@ class ConnectionManager:
         self.tenant_retry_budget = tenant_retry_budget
         self.reconnect_attempts: Dict[str, int] = {}
         self._reconnecting: set = set()
+        #: backoff delays actually slept per (peer, tenant) reconnect
+        #: loop, in order — the cap-saturation tests read this
+        self.backoff_delays: Dict[Tuple[str, str], List[float]] = {}
         self._pool: Dict[Tuple[str, str], List[QueuePair]] = {}
+        #: cold-connect timestamps per pool key (predictive pre-warm)
+        self._demand: Dict[Tuple[str, str], List[float]] = {}
         self.connections_established = 0
         self.setup_time_spent = 0.0
         self.quota_denials = 0
@@ -74,28 +104,38 @@ class ConnectionManager:
         self.reconnects_succeeded = 0
         self.budget_exhausted = 0
 
+    # -- sharing scope -----------------------------------------------------
+    def _scope(self, tenant: str, fn: Optional[str] = None) -> str:
+        """Pool-scope id: the tenant, or tenant/function when sharing
+        is disabled (``share_scope="function"``)."""
+        if fn is not None and self.config.share_scope == "function":
+            return f"{tenant}/{fn}"
+        return tenant
+
+    @staticmethod
+    def _scope_tenant(scope: str) -> str:
+        return scope.split("/", 1)[0]
+
     def _establish(self, remote_node: str, tenant: str):
         """Generator: full RC handshake (tens of milliseconds, §3.3).
 
-        Toward a dead peer the handshake burns the full setup time and
-        returns a QP already in the ERROR state — posting on it flushes
-        immediately, surfacing the failure to the caller.
+        Delegates all timing to the control plane; this layer only
+        keeps the manager's ledgers.  Toward a dead peer the handshake
+        burns the full setup time and returns a QP already in the
+        ERROR state — posting on it flushes immediately, surfacing the
+        failure to the caller.
         """
-        yield self.env.timeout(self.cost.rc_setup_us)
-        local = QueuePair(self.node, remote_node, tenant)
-        self.setup_time_spent += self.cost.rc_setup_us
+        local = yield from self.cp.connect(remote_node, tenant,
+                                           self.peer_alive)
+        self.setup_time_spent += local.setup_us
         tel = self.env.telemetry
-        if not self.peer_alive(remote_node):
-            local.state = QPState.ERROR
-            local.error_cause = f"connect to {remote_node} failed"
+        if local.is_errored:
             self.connect_failures += 1
             if tel is not None:
                 tel.metrics.counter(
                     "rc_connects_total", "RC handshakes by outcome.",
                     labels=("node", "ok")).labels(self.node, "false").inc()
             return local
-        peer = QueuePair(remote_node, self.node, tenant)
-        local.peer, peer.peer = peer, local
         self.connections_established += 1
         if tel is not None:
             tel.metrics.counter(
@@ -112,14 +152,21 @@ class ConnectionManager:
             self._pool[key] = pool = kept
         return pool
 
-    def warm_up(self, remote_node: str, tenant: str, count: int = 0):
+    def _note_demand(self, key: Tuple[str, str]) -> None:
+        history = self._demand.setdefault(key, [])
+        history.append(self.env.now)
+        if len(history) > _DEMAND_HISTORY:
+            del history[:len(history) - _DEMAND_HISTORY]
+
+    def warm_up(self, remote_node: str, tenant: str, count: int = 0,
+                fn: Optional[str] = None):
         """Generator: pre-establish the connection pool to a peer.
 
         Palladium does this off the critical path so data transfers
         never pay the RC handshake.  The handshakes proceed in
         parallel (they are independent QPs).
         """
-        key = (remote_node, tenant)
+        key = (remote_node, self._scope(tenant, fn))
         pool = self._prune(key)
         target = count or self.conns_per_peer
         needed = target - len(pool)
@@ -135,7 +182,44 @@ class ConnectionManager:
                     if not proc.value.is_errored)
         return list(pool)
 
-    def get_connection(self, remote_node: str, tenant: str):
+    def maintain_pools(self):
+        """Generator: top pools up to the pre-warm policy's target.
+
+        Called from the engine core thread's periodic loop.  With the
+        default "none" policy the loop guards on ``prewarm.active``
+        and never gets here; active policies re-establish shadow QPs
+        ahead of demand, off the critical path.
+        """
+        if not self.prewarm.active:
+            return 0
+        warmed = 0
+        keys = set(self._pool) | set(self._demand)
+        for key in sorted(keys):
+            remote_node, scope = key
+            target = self.prewarm.target(
+                self.env.now, len(self._pool.get(key, [])),
+                self._demand.get(key, []))
+            if target <= 0:
+                continue
+            pool = self._prune(key)
+            if len(pool) >= target:
+                continue
+            tenant = self._scope_tenant(scope)
+            if not self.peer_alive(remote_node):
+                continue
+            procs = [
+                self.env.process(self._establish(remote_node, tenant),
+                                 name=f"rc-prewarm:{self.node}->{remote_node}")
+                for _ in range(target - len(pool))
+            ]
+            yield self.env.all_of(procs)
+            fresh = [p.value for p in procs if not p.value.is_errored]
+            pool.extend(fresh)
+            warmed += len(fresh)
+        return warmed
+
+    def get_connection(self, remote_node: str, tenant: str,
+                       fn: Optional[str] = None):
         """Generator: return the least-congested usable QP to a peer.
 
         Prefers active QPs (no activation cost); activates a shadow QP
@@ -143,9 +227,10 @@ class ConnectionManager:
         connection only when the pool is empty (cold start).  Errored
         QPs are evicted first and never handed out from the pool.
         """
-        key = (remote_node, tenant)
+        key = (remote_node, self._scope(tenant, fn))
         pool = self._prune(key)
         if not pool:
+            self._note_demand(key)
             qp = yield from self._establish(remote_node, tenant)
             if qp.is_errored:
                 # Cold connect toward a dead peer: hand the errored QP
@@ -170,7 +255,8 @@ class ConnectionManager:
         yield from self._activate(best)
         return best
 
-    def ensure_active(self, remote_node: str, tenant: str):
+    def ensure_active(self, remote_node: str, tenant: str,
+                      fn: Optional[str] = None):
         """Generator: guarantee one ACTIVE QP toward a peer; returns it.
 
         The live-migration restore path: a migrated instance's traffic
@@ -179,7 +265,8 @@ class ConnectionManager:
         §3.3).  Falls back to a full RC handshake only when the pool is
         empty — the cold-start cost migration exists to avoid.
         """
-        pool = self._prune((remote_node, tenant))
+        key = (remote_node, self._scope(tenant, fn))
+        pool = self._prune(key)
         for qp in pool:
             if qp.is_active:
                 return qp
@@ -187,6 +274,7 @@ class ConnectionManager:
             qp = pool[0]
             yield from self._activate(qp)
             return qp
+        self._note_demand(key)
         qp = yield from self._establish(remote_node, tenant)
         if qp.is_errored:
             return qp
@@ -195,9 +283,10 @@ class ConnectionManager:
         return qp
 
     def tenant_active_count(self, tenant: str) -> int:
-        """Active QPs this tenant holds across all peers."""
+        """Active QPs this tenant holds across all peers (all scopes)."""
         return sum(
-            1 for (peer, t), pool in self._pool.items() if t == tenant
+            1 for (peer, scope), pool in self._pool.items()
+            if self._scope_tenant(scope) == tenant
             for qp in pool if qp.is_active
         )
 
@@ -260,10 +349,10 @@ class ConnectionManager:
         bounds how many QPs error out (None = all matching).
         """
         failed = 0
-        for (peer, t), pool in self._pool.items():
+        for (peer, scope), pool in self._pool.items():
             if remote is not None and peer != remote:
                 continue
-            if tenant is not None and t != tenant:
+            if tenant is not None and self._scope_tenant(scope) != tenant:
                 continue
             for qp in pool:
                 if qp.is_errored:
@@ -325,8 +414,10 @@ class ConnectionManager:
         """Generator: capped-exponential-backoff reconnect loop."""
         key = (remote_node, tenant)
         delay = self.reconnect_base_us
+        history = self.backoff_delays.setdefault(key, [])
         try:
             while True:
+                history.append(delay)
                 yield self.env.timeout(delay)
                 if self._budget_spent(tenant):
                     return False

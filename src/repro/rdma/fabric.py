@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from ..config import CostModel
 from ..hw import Cluster, Link
 from ..sim import Environment
 
+from .controlplane import ControlPlaneConfig, RdmaControlPlane
 from .rnic import Rnic
 
 __all__ = ["RdmaFabric"]
@@ -21,6 +22,7 @@ class RdmaFabric:
         self.cluster = cluster
         self.cost = cost
         self._rnics: Dict[str, Rnic] = {}
+        self._control_planes: Dict[str, RdmaControlPlane] = {}
 
     def install_rnic(self, node: str) -> Rnic:
         """Attach an RNIC to ``node`` (idempotent)."""
@@ -29,6 +31,24 @@ class RdmaFabric:
                 raise KeyError(f"unknown node {node!r}")
             self._rnics[node] = Rnic(self.env, self, node, self.cost)
         return self._rnics[node]
+
+    def control_plane(self, node: str,
+                      config: Optional[ControlPlaneConfig] = None
+                      ) -> RdmaControlPlane:
+        """The node's :class:`RdmaControlPlane` (created on first use).
+
+        One instance per endpoint: every connection manager and
+        provisioning path on a node shares its ops/sec ceiling and
+        setup ledgers.  ``config`` applies only on first creation
+        (first caller wins); platforms pre-register configs before
+        building engines to override the flat default.
+        """
+        cp = self._control_planes.get(node)
+        if cp is None:
+            cp = RdmaControlPlane(self.env, self, node, self.cost,
+                                  config=config)
+            self._control_planes[node] = cp
+        return cp
 
     def rnic(self, node: str) -> Rnic:
         try:

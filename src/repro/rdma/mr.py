@@ -84,7 +84,9 @@ class MemoryRegionTable:
         Live migration restores the checkpoint image into such a
         region so the RNIC can DMA it; the entries count toward the
         MTT cache like any pool's.  The *time* cost of the ibv_reg_mr
-        call is the caller's to charge (``CostModel.mr_register_time``).
+        call is charged by the node's control plane
+        (:meth:`repro.rdma.controlplane.RdmaControlPlane.register_region`)
+        — never ad-hoc by callers (the dataplane lint enforces this).
         """
         if mtt_entries < 0:
             raise RegistrationError("mtt_entries must be >= 0")

@@ -12,28 +12,75 @@ Palladium's QP layout (§3.3, §3.5.2):
   buffers so the RX stage can recover the buffer from a CQE.
 * QPs are *active* while they have WRs queued, otherwise *inactive*;
   inactive QPs consume no RNIC resources (shadow-QP scheme of RoGUE).
+
+A QP carries **two orthogonal state dimensions**:
+
+* the **verbs state machine** (``verbs_state``): RESET → INIT → RTR →
+  RTS, with ERROR reachable from every state and terminal.  Each
+  forward edge corresponds to one ``ibv_modify_qp`` round the control
+  plane charges for (:mod:`repro.rdma.controlplane`);
+* the **shadow-activity state** (``state``): ACTIVE / INACTIVE /
+  ERROR.  Only RTS QPs are ever activated; the RNIC thrash model
+  watches the node-wide active count.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..memory import Buffer, BufferState
 from ..sim import Environment, Store
 
-__all__ = ["QueuePair", "QPState", "QpError", "SharedReceiveQueue",
-           "ReceiveBufferRegistry"]
+__all__ = ["QueuePair", "QPState", "QpError", "IllegalTransition",
+           "SharedReceiveQueue", "ReceiveBufferRegistry"]
 
-_qp_ids = itertools.count(1)
+
+def _next_qp_id(env: Environment) -> int:
+    """Per-Environment QP id sequence.
+
+    A process-global ``itertools.count`` would leak ids across
+    simulations sharing one worker process — the same latent
+    parallel-runner determinism bug PR 5 fixed for conn/request ids in
+    ``ingress/gateway.py``.  Scoping the counter to the Environment
+    keeps ids (and anything derived from them) a pure function of the
+    run.
+    """
+    n = getattr(env, "_qp_id_seq", 0) + 1
+    env._qp_id_seq = n
+    return n
 
 
 class QPState:
+    # shadow-activity dimension (RoGUE's scheme)
     ACTIVE = "active"
     INACTIVE = "inactive"
     #: terminal error state: posted WRs flush to failed CQEs and the QP
     #: can never carry work again (it must be evicted and replaced).
     ERROR = "error"
+    # verbs state machine (ibv_modify_qp ladder)
+    RESET = "reset"
+    INIT = "init"
+    RTR = "rtr"
+    RTS = "rts"
+
+
+#: legal verbs-state edges; ERROR is reachable from everywhere and
+#: terminal (there is no modify-to-RESET recovery in this model — an
+#: errored QP is evicted and replaced).
+LEGAL_TRANSITIONS = frozenset({
+    (QPState.RESET, QPState.INIT),
+    (QPState.INIT, QPState.RTR),
+    (QPState.RTR, QPState.RTS),
+    (QPState.RESET, QPState.ERROR),
+    (QPState.INIT, QPState.ERROR),
+    (QPState.RTR, QPState.ERROR),
+    (QPState.RTS, QPState.ERROR),
+})
+
+
+class IllegalTransition(RuntimeError):
+    """A verbs-state transition that the RC state machine forbids."""
 
 
 class QpError(Exception):
@@ -55,18 +102,27 @@ class QpError(Exception):
 class QueuePair:
     """One RC queue pair (one end of a reliable connection)."""
 
-    def __init__(self, local_node: str, remote_node: str, tenant: str):
-        self.qp_id = next(_qp_ids)
+    def __init__(self, env: Environment, local_node: str, remote_node: str,
+                 tenant: str):
+        self.env = env
+        self.qp_id = _next_qp_id(env)
         self.local_node = local_node
         self.remote_node = remote_node
         self.tenant = tenant
         self.state = QPState.INACTIVE
+        #: verbs state; the control plane walks it RESET→INIT→RTR→RTS
+        self.verbs_state = QPState.RESET
+        #: every (from, to) edge this QP ever took, in order — the
+        #: property tests assert each one is in LEGAL_TRANSITIONS
+        self.transitions: List[Tuple[str, str]] = []
         #: WRs posted but not yet completed (drives shadow activation).
         self.pending_wrs = 0
         self.sends_posted = 0
         self.peer: Optional["QueuePair"] = None
         #: why the QP entered the ERROR state (fault telemetry)
         self.error_cause: str = ""
+        #: wall-clock the control plane spent establishing this QP
+        self.setup_us: float = 0.0
 
     @property
     def is_active(self) -> bool:
@@ -76,10 +132,46 @@ class QueuePair:
     def is_errored(self) -> bool:
         return self.state == QPState.ERROR
 
+    @property
+    def is_rts(self) -> bool:
+        return self.verbs_state == QPState.RTS
+
+    def transition(self, new_state: str, cause: str = "") -> None:
+        """Take one verbs-state edge; illegal edges raise.
+
+        Transitions are bookkeeping only — the *time* each
+        ``ibv_modify_qp`` round takes is charged by the control plane
+        (:class:`repro.rdma.controlplane.RdmaControlPlane`).
+        """
+        edge = (self.verbs_state, new_state)
+        if edge not in LEGAL_TRANSITIONS:
+            raise IllegalTransition(
+                f"QP {self.qp_id}: {self.verbs_state} -> {new_state}"
+            )
+        self.transitions.append(edge)
+        self.verbs_state = new_state
+        if new_state == QPState.ERROR and cause and not self.error_cause:
+            self.error_cause = cause
+        tel = self.env.telemetry
+        if tel is not None:
+            tel.metrics.counter(
+                "qp_transitions_total", "Verbs state-machine edges taken.",
+                labels=("node", "from", "to")).labels(
+                    self.local_node, edge[0], new_state).inc()
+
+    def fail(self, cause: str) -> None:
+        """Move both state dimensions to ERROR (idempotent)."""
+        if self.verbs_state != QPState.ERROR:
+            self.transition(QPState.ERROR, cause)
+        self.state = QPState.ERROR
+        if not self.error_cause:
+            self.error_cause = cause
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<QP {self.qp_id} {self.local_node}->{self.remote_node} "
-            f"tenant={self.tenant} {self.state} pending={self.pending_wrs}>"
+            f"tenant={self.tenant} {self.verbs_state}/{self.state} "
+            f"pending={self.pending_wrs}>"
         )
 
 

@@ -115,8 +115,7 @@ class Rnic:
             return
         if qp.is_active:
             self.active_qps -= 1
-        qp.state = QPState.ERROR
-        qp.error_cause = cause
+        qp.fail(cause)
 
     # -- setup ----------------------------------------------------------------
     def register_pool(self, pool: MemoryPool, remote_map: Optional[RemoteMap] = None):

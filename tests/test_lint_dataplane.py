@@ -54,6 +54,53 @@ def test_flags_underscore_key_get(tmp_path):
     assert len(vs) == 1
 
 
+def test_flags_direct_rc_setup_charge(tmp_path):
+    vs = _violations(tmp_path, "yield env.timeout(cost.rc_setup_us)\n")
+    assert len(vs) == 1
+    assert "rc_setup_us" in vs[0][3]
+    assert "RdmaControlPlane" in vs[0][3]
+
+
+def test_flags_direct_mr_register_charge(tmp_path):
+    vs = _violations(
+        tmp_path, "yield from cpu.execute(cost.mr_register_time(entries))\n")
+    assert len(vs) == 1
+    assert "mr_register_time" in vs[0][3]
+
+
+def test_rdma_package_may_charge_controlplane_costs(tmp_path):
+    pkg = tmp_path / "rdma"
+    pkg.mkdir()
+    path = pkg / "controlplane.py"
+    path.write_text("t = cost.rc_setup_us + cost.mr_register_time(4)\n")
+    assert check_file(path) == []
+    # ...but the meta rules still apply inside repro/rdma
+    path.write_text("x = descriptor.meta\n")
+    assert len(check_file(path)) == 1
+
+
+def test_controlplane_rule_applies_inside_dataplane(tmp_path):
+    # repro/dataplane is exempt from the meta rules only
+    pkg = tmp_path / "dataplane"
+    pkg.mkdir()
+    path = pkg / "engine.py"
+    path.write_text("x = d['_trace']\nt = cost.rc_setup_us\n")
+    vs = check_file(path)
+    assert len(vs) == 1
+    assert "rc_setup_us" in vs[0][3]
+
+
+def test_cost_definitions_are_legal(tmp_path):
+    vs = _violations(
+        tmp_path,
+        "class CostModel:\n"
+        "    rc_setup_us: float = 20_000.0\n"
+        "    def mr_register_time(self, mtt_entries):\n"
+        "        return 1.0\n",
+    )
+    assert vs == []
+
+
 def test_dataplane_package_is_exempt(tmp_path):
     pkg = tmp_path / "dataplane"
     pkg.mkdir()

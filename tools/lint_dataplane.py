@@ -12,6 +12,19 @@ from creeping back in.  Outside ``src/repro/dataplane/`` it rejects:
   with a legacy underscore meta-key string literal (``"_ack"``,
   ``"_via"``, ``"_trace"``, ``"_crossed_domain"``, ``"_retries"``).
 
+PR 8 moved all RDMA control-plane charging behind
+:class:`repro.rdma.controlplane.RdmaControlPlane`.  Outside
+``src/repro/rdma/`` the checker additionally rejects the ad-hoc cost
+idiom that layer replaced:
+
+* attribute access ``<expr>.rc_setup_us`` (QP setup must go through
+  ``RdmaControlPlane.connect`` / ``ConnectionManager``);
+* attribute access ``<expr>.mr_register_time`` (MR registration must
+  go through ``RdmaControlPlane.register_region``).
+
+(The bare dataclass/method *definitions* in ``repro/config.py`` are
+not attribute accesses and stay legal.)
+
 Usage::
 
     python tools/lint_dataplane.py [root ...]
@@ -38,12 +51,21 @@ _KEY_METHODS = frozenset({"get", "pop", "setdefault"})
 #: path fragment that is allowed to talk about the wire format
 EXEMPT_PART = "dataplane"
 
+#: path fragment that is allowed to charge control-plane costs
+CONTROLPLANE_EXEMPT_PART = "rdma"
+
+#: CostModel members only the control-plane layer may touch
+CONTROLPLANE_COSTS = frozenset({"rc_setup_us", "mr_register_time"})
+
 Violation = Tuple[str, int, int, str]
 
 
 class _MetaVisitor(ast.NodeVisitor):
-    def __init__(self, path: str):
+    def __init__(self, path: str, check_meta: bool = True,
+                 check_controlplane: bool = True):
         self.path = path
+        self.check_meta = check_meta
+        self.check_controlplane = check_controlplane
         self.violations: List[Violation] = []
 
     def _flag(self, node: ast.AST, message: str) -> None:
@@ -52,18 +74,28 @@ class _MetaVisitor(ast.NodeVisitor):
         )
 
     def visit_Attribute(self, node: ast.Attribute) -> None:
-        if node.attr == "meta":
+        if self.check_meta and node.attr == "meta":
             self._flag(node, "attribute access '.meta' (use the typed "
                              "repro.dataplane.Message instead)")
+        if self.check_controlplane and node.attr in CONTROLPLANE_COSTS:
+            self._flag(node, f"control-plane cost '.{node.attr}' charged "
+                             f"directly (go through repro.rdma."
+                             f"controlplane.RdmaControlPlane)")
         self.generic_visit(node)
 
     def visit_keyword(self, node: ast.keyword) -> None:
+        if not self.check_meta:
+            self.generic_visit(node)
+            return
         if node.arg == "meta":
             self._flag(node.value, "keyword argument 'meta=' (pass "
                                    "'message=' with a dataplane Message)")
         self.generic_visit(node)
 
     def visit_Call(self, node: ast.Call) -> None:
+        if not self.check_meta:
+            self.generic_visit(node)
+            return
         func = node.func
         # dict(meta) / dict(x.meta): the per-hop header copy
         if (isinstance(func, ast.Name) and func.id == "dict"
@@ -86,6 +118,9 @@ class _MetaVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
     def visit_Subscript(self, node: ast.Subscript) -> None:
+        if not self.check_meta:
+            self.generic_visit(node)
+            return
         key = node.slice
         if (isinstance(key, ast.Constant) and isinstance(key.value, str)
                 and key.value in LEGACY_META_KEYS):
@@ -98,16 +133,23 @@ def _is_exempt(path: Path) -> bool:
     return EXEMPT_PART in path.parts
 
 
+def _is_controlplane_exempt(path: Path) -> bool:
+    return CONTROLPLANE_EXEMPT_PART in path.parts
+
+
 def check_file(path: Path) -> List[Violation]:
     """Return the violations in one Python source file."""
-    if _is_exempt(path):
+    check_meta = not _is_exempt(path)
+    check_controlplane = not _is_controlplane_exempt(path)
+    if not (check_meta or check_controlplane):
         return []
     try:
         tree = ast.parse(path.read_text(), filename=str(path))
     except SyntaxError as exc:  # pragma: no cover - repo should parse
         return [(str(path), exc.lineno or 0, exc.offset or 0,
                  f"syntax error: {exc.msg}")]
-    visitor = _MetaVisitor(str(path))
+    visitor = _MetaVisitor(str(path), check_meta=check_meta,
+                           check_controlplane=check_controlplane)
     visitor.visit(tree)
     return visitor.violations
 
