@@ -178,6 +178,18 @@ class CostModel:
     ingress_scale_event_pause_us: float = 300_000.0
     ingress_autoscale_period_us: float = 1_000_000.0
 
+    # ----- multi-gateway ingress tier (repro.ingress.tier, extension) -----------
+    #: Per-request cost of a pinned (hot) flow on the DPU fast path:
+    #: match-table hit + header rewrite, no gateway core touched.
+    tier_fastpath_us: float = 2.0
+    #: Per-request cost of a cold/new flow punted to the gateway slow
+    #: path: full parse + flow-table entry install.
+    tier_slowpath_us: float = 18.0
+    #: Failover flow-table state-sync window: entries inherited from a
+    #: failed gateway install on the successor only after this long;
+    #: lookups inside the window pay the cold-punt cost.
+    tier_flow_sync_us: float = 2_000.0
+
     # ----- live migration (repro.migration) -----------------------------------
     #: Fixed cost of freezing a warm instance and walking its pages into
     #: a checkpoint image (CRIU-style dump, before the DMA of the image

@@ -18,6 +18,11 @@ from .ext_cycle_breakdown import (
     run_trace_smoke,
 )
 from .ext_fault_recovery import run_ext_fault_recovery, run_fault_point
+from .ext_gateway_scale import (
+    gateway_scale_classes,
+    run_ext_gateway_scale,
+    run_gateway_scale_point,
+)
 from .ext_migration import (
     run_drain_point,
     run_ext_migration,
@@ -61,7 +66,10 @@ __all__ = [
     "run_drain_point",
     "run_ext_cycle_breakdown",
     "run_ext_fault_recovery",
+    "run_ext_gateway_scale",
     "run_ext_migration",
+    "run_gateway_scale_point",
+    "gateway_scale_classes",
     "run_ext_overload",
     "run_fault_point",
     "run_migration_point",

@@ -23,6 +23,7 @@ from . import (
     run_ext_conn_churn,
     run_ext_cycle_breakdown,
     run_ext_fault_recovery,
+    run_ext_gateway_scale,
     run_ext_migration,
     run_ext_overload,
     run_overload_isolation,
@@ -116,6 +117,13 @@ EXPERIMENTS = {
             state_kbs=(64, 4096), clients=6,
             move_at_us=80_000.0, disruption_us=50_000.0,
             post_us=80_000.0, jobs=jobs),
+    ),
+    "gateway-scale": (
+        lambda jobs=None: run_ext_gateway_scale(jobs=jobs),
+        lambda jobs=None: run_ext_gateway_scale(
+            gateway_counts=(1, 2, 4), scale=0.02,
+            duration_us=200_000.0, crash_post_us=100_000.0,
+            table_capacity=8_192, jobs=jobs),
     ),
     "conn-churn": (
         lambda jobs=None: run_ext_conn_churn(jobs=jobs),

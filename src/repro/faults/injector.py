@@ -46,7 +46,19 @@ class FaultInjector:
         self.timeline: List[Tuple[float, str, str, Any]] = []
         #: buffers held hostage by pool-exhaust faults
         self._hostages: Dict[str, list] = {}
+        #: ingress gateways addressable by gateway-crash/-restart
+        self._gateways: Dict[str, Any] = {}
         self.started = False
+
+    def register_gateway(self, name: str, ingress) -> None:
+        """Make an ingress instance a target for ``gateway-crash``.
+
+        ``ingress`` needs ``fail()``/``recover()`` and a ``healthy``
+        flag (:class:`~repro.ingress.PalladiumIngress` has them); the
+        ingress tier's health checks observe the ``healthy`` flip and
+        run the ring re-spray + flow-table sync.
+        """
+        self._gateways[name] = ingress
 
     def start(self):
         """Spawn the injector process; a no-op for an empty plan."""
@@ -136,6 +148,18 @@ class FaultInjector:
                 self.platform.drain_node(event.target, **params),
                 name=f"drain:{event.target}")
             return "scheduled"
+        if kind in ("gateway-crash", "gateway-restart"):
+            try:
+                gateway = self._gateways[event.target]
+            except KeyError:
+                raise ValueError(
+                    f"gateway {event.target!r} not registered; call "
+                    "register_gateway() before start()") from None
+            if kind == "gateway-crash":
+                gateway.fail()
+            else:
+                gateway.recover()
+            return gateway.healthy
         if kind == "pool-release":
             held = self._hostages.pop(event.target, [])
             node, tenant = event.target.split(":", 1)

@@ -30,6 +30,7 @@ KINDS = frozenset({
     "cp-throttle", "cp-restore",
     "pool-exhaust", "pool-release",
     "node-drain",
+    "gateway-crash", "gateway-restart",
 })
 
 
@@ -74,6 +75,20 @@ class FaultPlan:
         self.add(FaultEvent(at_us, "engine-crash", node))
         if down_us is not None:
             self.add(FaultEvent(at_us + down_us, "engine-restart", node))
+        return self
+
+    def gateway_crash(self, at_us: float, gateway: str,
+                      down_us: Optional[float] = None) -> "FaultPlan":
+        """Fail-stop an ingress gateway registered with the injector.
+
+        The ingress tier's health machinery notices the unhealthy
+        instance and re-sprays its flows across the surviving ring;
+        with ``down_us`` the gateway recovers (empty flow table) and
+        rejoins the ring.
+        """
+        self.add(FaultEvent(at_us, "gateway-crash", gateway))
+        if down_us is not None:
+            self.add(FaultEvent(at_us + down_us, "gateway-restart", gateway))
         return self
 
     def link_flap(self, at_us: float, src: str, dst: str, down_us: float,

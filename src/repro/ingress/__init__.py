@@ -5,16 +5,28 @@ from .balancer import IngressLoadBalancer
 from .gateway import Autoscaler, ClientConnection, GatewayStats, GatewayWorker
 from .palladium import PalladiumIngress
 from .proxy import FIngress, KIngress, ProxyIngress
+from .tier import (
+    ConsistentHashRing,
+    FlowTable,
+    GatewayShard,
+    GatewayTier,
+    TieredIngress,
+)
 
 __all__ = [
     "Autoscaler",
     "ClientConnection",
+    "ConsistentHashRing",
     "FIngress",
+    "FlowTable",
+    "GatewayShard",
     "GatewayStats",
+    "GatewayTier",
     "GatewayWorker",
     "IngressLoadBalancer",
     "KIngress",
     "PalladiumIngress",
     "ProxyIngress",
     "TcpWorkerAdapter",
+    "TieredIngress",
 ]

@@ -45,6 +45,10 @@ class ClientConnection:
         self.requests_sent = 0
         self.responses_received = 0
 
+    def close(self) -> None:
+        """Client-side teardown; balancers sweep closed connections."""
+        self.open = False
+
 
 class GatewayStats:
     """Aggregate gateway counters.

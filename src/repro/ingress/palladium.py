@@ -111,6 +111,10 @@ class PalladiumIngress:
     def recover(self) -> None:
         self.healthy = True
 
+    def load(self) -> int:
+        """Outstanding requests — the tier's bounded-load ECMP signal."""
+        return len(self._pending)
+
     # -- setup ----------------------------------------------------------------
     def add_tenant(self, tenant: str, buffers: int = 256, buffer_bytes: int = 8192) -> None:
         """Create the gateway's pool for a tenant and register it."""

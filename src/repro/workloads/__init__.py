@@ -11,6 +11,13 @@ from .boutique import (
     deploy_boutique,
     path_payload,
 )
+from .aggregate import (
+    ClientClass,
+    FlowAggregateModel,
+    FlowBucket,
+    build_buckets,
+    weighted_percentile,
+)
 from .diurnal import RateSchedule, ScheduledSource, diurnal_schedule
 from .echo import ECHO_TENANT, deploy_echo_pair, deploy_http_echo
 from .generator import ClientFleet, ClosedLoopClient, DirectDriver, OpenLoopSource
@@ -22,9 +29,14 @@ __all__ = [
     "BOUTIQUE_PLACEMENT",
     "BOUTIQUE_TENANT",
     "CHAIN_PATHS",
+    "ClientClass",
     "ClientFleet",
     "ClosedLoopClient",
     "DirectDriver",
+    "FlowAggregateModel",
+    "FlowBucket",
+    "build_buckets",
+    "weighted_percentile",
     "ECHO_TENANT",
     "TenantTrace",
     "boutique_resolver",

@@ -149,7 +149,7 @@ def test_balancer_spreads_connections():
     # connections spread, not all on one instance
     fleet_conns = len(balancer._owner)
     assert fleet_conns == 32
-    owners = {id(v) for v in balancer._owner.values()}
+    owners = {id(owner) for owner, _conn in balancer._owner.values()}
     assert len(owners) == 2
 
 

@@ -646,7 +646,7 @@ def test_balancer_health_loop_ejects_dead_instance():
     victim.healthy = False
     env.run(until=2_500)
     # every connection owned by the dead instance was reassigned
-    assert all(owner is instances[1] for owner in lb._owner.values())
+    assert all(owner is instances[1] for owner, _conn in lb._owner.values())
     assert lb.failovers >= 1
 
 
@@ -658,12 +658,92 @@ def test_balancer_submit_fails_over_between_health_checks():
     lb = IngressLoadBalancer(instances)  # no health loop
     lb.start()
     conn = lb.connect()
-    owner = lb._owner[conn.conn_id]
+    owner, _conn = lb._owner[conn.conn_id]
     owner.healthy = False
     lb.submit(conn, HttpRequest("/"))
     survivor = next(i for i in instances if i is not owner)
     assert survivor.submitted and not owner.submitted
     assert lb.failovers == 1
+
+
+def test_balancer_owner_map_bounded_under_connection_churn():
+    # Regression: _owner grew one entry per connect() forever — a
+    # churn workload (connect, use, close, repeat) leaked the map.
+    from repro.ingress import IngressLoadBalancer
+    env = Environment()
+    instances = [_FakeIngress(env), _FakeIngress(env)]
+    lb = IngressLoadBalancer(instances)
+    lb.start()
+    for _ in range(10_000):
+        conn = lb.connect()
+        lb.close(conn)
+    # the amortized sweep keeps the map near the live set, not the
+    # total ever connected
+    assert len(lb._owner) < 1_000
+    lb.prune_closed()
+    assert len(lb._owner) == 0
+
+
+def test_balancer_remove_instance_resprays_connections():
+    from repro.ingress import IngressLoadBalancer
+    env = Environment()
+    instances = [_FakeIngress(env), _FakeIngress(env)]
+    lb = IngressLoadBalancer(instances)
+    lb.start()
+    conns = [lb.connect() for _ in range(8)]
+    lb.remove_instance(instances[0])
+    assert all(owner is instances[1] for owner, _conn in lb._owner.values())
+    assert len(lb._owner) == 8
+    with pytest.raises(ValueError):
+        lb.remove_instance(instances[1])  # never remove the last one
+
+
+def test_fault_plan_gateway_crash_expands_to_restart():
+    plan = FaultPlan().gateway_crash(10_000.0, "gw2", down_us=5_000.0)
+    kinds = [(e.at_us, e.kind, e.target) for e in plan.events]
+    assert kinds == [(10_000.0, "gateway-crash", "gw2"),
+                     (15_000.0, "gateway-restart", "gw2")]
+
+
+def test_injector_gateway_crash_flips_health_flag():
+    env = Environment()
+    gw = _FakeIngress(env)
+    plan = FaultPlan().gateway_crash(1_000.0, "gw0", down_us=2_000.0)
+    injector = FaultInjector(env, platform=None, plan=plan)
+    injector.register_gateway("gw0", _WithFailRecover(gw))
+    injector.start()
+    env.run(until=1_500)
+    assert not gw.healthy
+    env.run(until=3_500)
+    assert gw.healthy
+    assert [(k, t) for _, k, t, _ in injector.timeline] == [
+        ("gateway-crash", "gw0"), ("gateway-restart", "gw0")]
+
+
+def test_injector_rejects_unregistered_gateway():
+    env = Environment()
+    plan = FaultPlan().gateway_crash(1_000.0, "nope")
+    injector = FaultInjector(env, platform=None, plan=plan)
+    injector.start()
+    with pytest.raises(ValueError, match="not registered"):
+        env.run(until=2_000)
+
+
+class _WithFailRecover:
+    """Adapter giving _FakeIngress the fail/recover fault surface."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def fail(self):
+        self._inner.healthy = False
+
+    def recover(self):
+        self._inner.healthy = True
+
+    @property
+    def healthy(self):
+        return self._inner.healthy
 
 
 def test_palladium_ingress_health_flag():

@@ -90,6 +90,49 @@ def test_controlplane_rule_applies_inside_dataplane(tmp_path):
     assert "rc_setup_us" in vs[0][3]
 
 
+def test_flags_direct_spray_call(tmp_path):
+    vs = _violations(tmp_path, "q = rss_queue(conn_id, queues)\n")
+    assert len(vs) == 1
+    assert "rss_queue" in vs[0][3]
+    assert "TieredIngress" in vs[0][3]
+    vs = _violations(tmp_path, "gw = nic.rss_pick(flow)\n")
+    assert len(vs) == 1
+    assert "rss_pick" in vs[0][3]
+
+
+def test_ingress_and_hw_may_spray(tmp_path):
+    for part in ("ingress", "hw"):
+        pkg = tmp_path / part
+        pkg.mkdir()
+        path = pkg / "mod.py"
+        path.write_text("q = rss_queue(conn_id, queues)\n")
+        assert check_file(path) == []
+
+
+def test_spray_rule_applies_inside_dataplane_and_rdma(tmp_path):
+    # the meta/controlplane exemptions do not cover gateway selection
+    for part in ("dataplane", "rdma"):
+        pkg = tmp_path / part
+        pkg.mkdir()
+        path = pkg / "engine.py"
+        path.write_text("q = rss_queue(conn_id, queues)\n")
+        vs = check_file(path)
+        assert len(vs) == 1
+        assert "rss_queue" in vs[0][3]
+
+
+def test_spray_definition_and_references_are_legal(tmp_path):
+    # only *calls* are flagged; defining or re-exporting the primitive
+    # (as repro/hw does) parses as def/Name nodes, not Call nodes
+    vs = _violations(
+        tmp_path,
+        "def rss_queue(flow, queues):\n"
+        "    return 0\n"
+        "alias = rss_queue\n",
+    )
+    assert vs == []
+
+
 def test_cost_definitions_are_legal(tmp_path):
     vs = _violations(
         tmp_path,

@@ -1,0 +1,188 @@
+"""Flow-aggregate workload frontend: conservation, scale, failover."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads import (
+    ClientClass,
+    FlowAggregateModel,
+    build_buckets,
+    weighted_percentile,
+)
+
+
+def _classes(clients=2_000, rps=2.0):
+    return [
+        ClientClass("web", "tenant-a", clients=clients, rps_per_client=rps,
+                    zipf_s=0.8),
+        ClientClass("iot", "tenant-b", clients=clients // 4,
+                    rps_per_client=rps, body_bytes=64, zipf_s=0.8),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# client classes and buckets
+# ---------------------------------------------------------------------------
+
+def test_buckets_partition_the_client_population():
+    classes = _classes(clients=10_000)
+    buckets = build_buckets(classes)
+    per_class = {}
+    for b in buckets:
+        per_class[b.tenant] = per_class.get(b.tenant, 0) + b.flows
+    assert per_class["tenant-a"] == 10_000
+    assert per_class["tenant-b"] == 2_500
+    # rates split exactly too
+    total = sum(b.rate_rps for b in buckets)
+    assert abs(total - sum(c.rate_rps for c in classes)) < 1e-6
+
+
+def test_zipf_skew_makes_the_head_bucket_heaviest():
+    cls = ClientClass("c", "t", clients=1_000, rps_per_client=1.0,
+                      zipf_s=1.1)
+    buckets = build_buckets([cls])
+    rates = [b.rate_rps for b in buckets]
+    assert rates[0] == max(rates)
+    assert rates[0] > 3 * rates[-1]
+
+
+def test_weighted_percentile_nearest_rank():
+    samples = [(0.0, 10.0, 1), (1.0, 20.0, 1), (2.0, 30.0, 2)]
+    assert weighted_percentile(samples, 50.0) == 20.0
+    assert weighted_percentile(samples, 99.0) == 30.0
+    assert weighted_percentile(samples, 99.0, t0=0.5, t1=1.5) == 20.0
+    assert weighted_percentile([], 50.0) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# the fluid model: determinism, conservation, scale
+# ---------------------------------------------------------------------------
+
+def test_model_is_deterministic():
+    runs = []
+    for _ in range(2):
+        m = FlowAggregateModel(_classes(), 4, table_capacity=4_096)
+        m.run(100_000.0)
+        runs.append((m.admitted, m.completed, m.rejected,
+                     m.goodput_rps(50_000, 100_000),
+                     m.percentile(99, 50_000)))
+    assert runs[0] == runs[1]
+
+
+def test_model_drives_a_million_modeled_clients():
+    classes = [
+        ClientClass("web", "t-a", clients=600_000, rps_per_client=2.0,
+                    zipf_s=0.8),
+        ClientClass("mobile", "t-b", clients=300_000, rps_per_client=2.0,
+                    zipf_s=0.8),
+        ClientClass("iot", "t-c", clients=100_000, rps_per_client=2.0,
+                    zipf_s=0.8),
+    ]
+    m = FlowAggregateModel(classes, 16)
+    assert m.modeled_clients == 1_000_000
+    assert m.offered_rps == 2_000_000.0
+    m.run(100_000.0)
+    assert m.conserved()
+    assert m.completed > 0
+    # the aggregate frontend keeps state tiny: buckets, not clients
+    assert len(m.buckets) < 1_000
+
+
+def test_goodput_scales_with_gateway_count():
+    goodputs = []
+    for n in (1, 4, 16):
+        m = FlowAggregateModel(_classes(clients=200_000), n,
+                               table_capacity=32_768)
+        m.run(200_000.0)
+        goodputs.append(m.goodput_rps(120_000, 200_000))
+    assert goodputs == sorted(goodputs)
+    assert goodputs[-1] > goodputs[0]
+
+
+def test_crash_mid_run_keeps_the_ledger_exact():
+    m = FlowAggregateModel(_classes(), 4, table_capacity=4_096)
+    m.run(50_000.0, drain=False)
+    pre = m.goodput_rps(25_000, 50_000)
+    m.run(50_000.0, events=[(50_000.0, "crash", "gw1")], drain=True)
+    assert m.conserved()
+    assert not m.tier.shards["gw1"].healthy
+    assert m.flows_synced > 0
+    # no lost requests: everything admitted completed or was rejected
+    assert m.admitted == m.completed + m.rejected
+    assert m.goodput_rps(60_000, 100_000) > 0.5 * pre
+
+
+def test_crash_and_recover_restores_the_ring():
+    m = FlowAggregateModel(_classes(), 4, table_capacity=4_096)
+    m.run(120_000.0,
+          events=[(40_000.0, "crash", "gw2"),
+                  (80_000.0, "recover", "gw2")],
+          drain=True)
+    assert m.conserved()
+    assert m.tier.shards["gw2"].healthy
+    assert "gw2" in m.tier.ring
+
+
+def test_crash_redirects_backlog_instead_of_losing_it():
+    # saturate a tiny tier so queues are non-empty at the crash
+    m = FlowAggregateModel(_classes(clients=200_000), 2,
+                           table_capacity=65_536,
+                           fastpath_rps=50_000.0, slowpath_rps=5_000.0)
+    m.run(30_000.0, drain=False)
+    assert m.inflight() > 0
+    m.run(30_000.0, events=[(30_000.0, "crash", "gw0")], drain=True)
+    assert m.redirected > 0
+    assert m.conserved()
+    assert m.admitted == m.completed + m.rejected
+
+
+def test_total_outage_rejects_rather_than_loses():
+    m = FlowAggregateModel(_classes(), 1, table_capacity=4_096)
+    m.run(20_000.0, drain=False)
+    m.crash_gateway("gw0")
+    m.run(20_000.0, drain=True)
+    assert m.conserved()
+    assert m.admitted == m.completed + m.rejected
+
+
+def test_tenant_quota_bounds_flow_table_share():
+    m = FlowAggregateModel(_classes(clients=20_000), 2,
+                           table_capacity=16_384, tenant_quota=4_096)
+    m.run(60_000.0)
+    for shard in m.tier.shards.values():
+        for tenant in ("tenant-a", "tenant-b"):
+            assert shard.table.tenant_occupancy(tenant) <= 4_096
+    assert m.conserved()
+
+
+# ---------------------------------------------------------------------------
+# hypothesis: exact conservation through crash/recover schedules
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=25, deadline=None)
+@given(
+    gateways=st.integers(min_value=1, max_value=6),
+    clients=st.integers(min_value=100, max_value=50_000),
+    crash_at=st.integers(min_value=5, max_value=45),
+    crash_idx=st.integers(min_value=0, max_value=5),
+    recover=st.booleans(),
+)
+def test_property_every_admitted_request_accounted_exactly_once(
+        gateways, clients, crash_at, crash_idx, recover):
+    """Hypothesis: admitted == completed + rejected (+ 0 lost) after
+    drain, through an arbitrary crash (and optional recovery)."""
+    classes = [ClientClass("c", "t", clients=clients, rps_per_client=5.0,
+                           zipf_s=0.8)]
+    m = FlowAggregateModel(classes, gateways, table_capacity=8_192,
+                           max_queue=500, max_cold_queue=100)
+    events = []
+    if gateways > 1:
+        victim = f"gw{crash_idx % gateways}"
+        events.append((float(crash_at * 1_000), "crash", victim))
+        if recover:
+            events.append((float((crash_at + 10) * 1_000),
+                           "recover", victim))
+    m.run(60_000.0, events=events, drain=True)
+    assert m.inflight() == 0
+    assert m.conserved()
+    assert m.admitted == m.completed + m.rejected
+    assert m.admitted >= 0 and m.completed >= 0 and m.rejected >= 0

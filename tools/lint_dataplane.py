@@ -25,6 +25,16 @@ idiom that layer replaced:
 (The bare dataclass/method *definitions* in ``repro/config.py`` are
 not attribute accesses and stay legal.)
 
+PR 9 added the hierarchical ingress tier: every gateway-selection
+decision (L1 spray) belongs to ``repro.ingress`` — callers hold a
+connection, never a gateway.  Outside ``src/repro/ingress/`` (and
+``src/repro/hw/``, which owns the RSS primitive itself) the checker
+rejects direct spray calls:
+
+* calls to ``rss_queue(...)`` / ``rss_pick(...)`` (gateway/queue
+  selection must go through ``IngressLoadBalancer`` or
+  ``TieredIngress``).
+
 Usage::
 
     python tools/lint_dataplane.py [root ...]
@@ -57,15 +67,23 @@ CONTROLPLANE_EXEMPT_PART = "rdma"
 #: CostModel members only the control-plane layer may touch
 CONTROLPLANE_COSTS = frozenset({"rc_setup_us", "mr_register_time"})
 
+#: path fragments allowed to make gateway/queue spray decisions
+SPRAY_EXEMPT_PARTS = frozenset({"ingress", "hw"})
+
+#: the spray/selection primitives reserved to the ingress tier
+SPRAY_FUNCS = frozenset({"rss_queue", "rss_pick"})
+
 Violation = Tuple[str, int, int, str]
 
 
 class _MetaVisitor(ast.NodeVisitor):
     def __init__(self, path: str, check_meta: bool = True,
-                 check_controlplane: bool = True):
+                 check_controlplane: bool = True,
+                 check_spray: bool = True):
         self.path = path
         self.check_meta = check_meta
         self.check_controlplane = check_controlplane
+        self.check_spray = check_spray
         self.violations: List[Violation] = []
 
     def _flag(self, node: ast.AST, message: str) -> None:
@@ -93,10 +111,20 @@ class _MetaVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
     def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if self.check_spray:
+            callee = None
+            if isinstance(func, ast.Name):
+                callee = func.id
+            elif isinstance(func, ast.Attribute):
+                callee = func.attr
+            if callee in SPRAY_FUNCS:
+                self._flag(node, f"direct gateway spray '{callee}()' "
+                                 f"outside repro.ingress (route through "
+                                 f"IngressLoadBalancer or TieredIngress)")
         if not self.check_meta:
             self.generic_visit(node)
             return
-        func = node.func
         # dict(meta) / dict(x.meta): the per-hop header copy
         if (isinstance(func, ast.Name) and func.id == "dict"
                 and len(node.args) == 1):
@@ -137,11 +165,16 @@ def _is_controlplane_exempt(path: Path) -> bool:
     return CONTROLPLANE_EXEMPT_PART in path.parts
 
 
+def _is_spray_exempt(path: Path) -> bool:
+    return bool(SPRAY_EXEMPT_PARTS.intersection(path.parts))
+
+
 def check_file(path: Path) -> List[Violation]:
     """Return the violations in one Python source file."""
     check_meta = not _is_exempt(path)
     check_controlplane = not _is_controlplane_exempt(path)
-    if not (check_meta or check_controlplane):
+    check_spray = not _is_spray_exempt(path)
+    if not (check_meta or check_controlplane or check_spray):
         return []
     try:
         tree = ast.parse(path.read_text(), filename=str(path))
@@ -149,7 +182,8 @@ def check_file(path: Path) -> List[Violation]:
         return [(str(path), exc.lineno or 0, exc.offset or 0,
                  f"syntax error: {exc.msg}")]
     visitor = _MetaVisitor(str(path), check_meta=check_meta,
-                           check_controlplane=check_controlplane)
+                           check_controlplane=check_controlplane,
+                           check_spray=check_spray)
     visitor.visit(tree)
     return visitor.violations
 
