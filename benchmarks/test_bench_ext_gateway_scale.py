@@ -33,6 +33,10 @@ def test_bench_ext_gateway_scale(once):
                 "rejected": int(point["rejected"]),
                 "lost": int(point["lost"]),
                 **profile,
+                # fluid model: zero kernel events; throughput is epochs
+                "model_epochs_per_sec": (
+                    round(point["epochs"] / profile["wall_clock_s"])
+                    if profile["wall_clock_s"] else 0),
             }
             if point["crashed"]:
                 entry["post_crash_rps"] = round(point["post_rps"])

@@ -132,6 +132,9 @@ def run_gateway_scale_point(
 
     # Ledger totals (exact integers; lost must be 0 — drained runs
     # have no inflight, so admitted fully decomposes).
+    # Fluid sections process zero kernel events; benches report model
+    # epochs instead so their throughput is still attributable.
+    metrics["epochs"] = model.epochs
     metrics["admitted"] = model.admitted
     metrics["completed"] = model.completed
     metrics["rejected"] = model.rejected

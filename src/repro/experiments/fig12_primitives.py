@@ -104,38 +104,44 @@ def _run_two_sided(cost: CostModel, size: int, concurrency: int,
                     rnic.post_recv("bench", pool.get(agent), agent)
 
     def _server():
+        # Batched CQ draining: one wakeup per burst, not per CQE.
+        cq = bench.rnic1.cq
         while True:
-            completion = yield bench.rnic1.cq.get()
-            if completion.is_recv:
-                # RX + TX stage of the echo on the wimpy core.
-                yield from bench.c1.work(cost.dne_rx_proc_us + cost.dne_tx_proc_us)
-                buffer = completion.buffer
-                buffer.transfer("rnic:worker1", "dne1")
-                message = completion.message
-                message.transfer("rnic:worker1", "dne1")
-                wr = WorkRequest(opcode=Opcode.SEND, buffer=buffer,
-                                 length=completion.length,
-                                 message=message)
-                message.transfer("dne1", "rnic:worker1")
-                bench.rnic1.post_send(bench.qp_back, wr)
-            elif completion.opcode == Opcode.SEND:
-                completion.buffer.pool.put(completion.buffer, "dne1")
+            completions = yield cq.poll_batch()
+            for completion in completions:
+                if completion.is_recv:
+                    # RX + TX stage of the echo on the wimpy core.
+                    yield from bench.c1.work(
+                        cost.dne_rx_proc_us + cost.dne_tx_proc_us)
+                    buffer = completion.buffer
+                    buffer.transfer("rnic:worker1", "dne1")
+                    message = completion.message
+                    message.transfer("rnic:worker1", "dne1")
+                    wr = WorkRequest(opcode=Opcode.SEND, buffer=buffer,
+                                     length=completion.length,
+                                     message=message)
+                    message.transfer("dne1", "rnic:worker1")
+                    bench.rnic1.post_send(bench.qp_back, wr)
+                elif completion.opcode == Opcode.SEND:
+                    completion.buffer.pool.put(completion.buffer, "dne1")
 
     def _client_dispatch():
+        cq = bench.rnic0.cq
         while True:
-            completion = yield bench.rnic0.cq.get()
-            if completion.is_recv:
-                yield from bench.c0.work(cost.dne_rx_proc_us)
-                event = pending.pop(completion.message.rid, None)
-                buffer = completion.buffer
-                buffer.transfer("rnic:worker0", "dne0")
-                completion.message.transfer("rnic:worker0", "dne0")
-                completion.message.retire("dne0")
-                buffer.pool.put(buffer, "dne0")
-                if event is not None:
-                    event.succeed()
-            elif completion.opcode == Opcode.SEND:
-                completion.buffer.pool.put(completion.buffer, "dne0")
+            completions = yield cq.poll_batch()
+            for completion in completions:
+                if completion.is_recv:
+                    yield from bench.c0.work(cost.dne_rx_proc_us)
+                    event = pending.pop(completion.message.rid, None)
+                    buffer = completion.buffer
+                    buffer.transfer("rnic:worker0", "dne0")
+                    completion.message.transfer("rnic:worker0", "dne0")
+                    completion.message.retire("dne0")
+                    buffer.pool.put(buffer, "dne0")
+                    if event is not None:
+                        event.succeed()
+                elif completion.opcode == Opcode.SEND:
+                    completion.buffer.pool.put(completion.buffer, "dne0")
 
     def _driver(i: int):
         while True:

@@ -381,45 +381,54 @@ class PalladiumIngress:
         With multiple gateway instances sharing the node's RNIC, the
         response is handed to whichever *sibling* instance owns the
         request id.
+
+        Batched: one wakeup drains every ready CQE (``poll_batch``)
+        instead of one generator round-trip per completion; the
+        per-CQE routing below is unchanged.
         """
+        cq = self.rnic.cq
         while self._running:
-            completion = yield self.rnic.cq.get()
-            if completion.is_recv:
-                rid = completion.message.rid
-                owner = next(
-                    (gw for gw in self.siblings if rid in gw._pending), self
-                )
-                entry = owner._pending.get(rid)
-                worker = entry[1] if entry else rss_pick(owner.workers, rid or 0)
-                worker.inbox.put(("response", completion))
-            elif completion.opcode == Opcode.SEND and completion.buffer is not None:
-                completion.buffer.pool.put(completion.buffer, self.AGENT)
-                if not completion.ok:
-                    # Flushed send (peer died): the request is lost —
-                    # reclaim the stranded header and drop the pending
-                    # entry so state does not leak.
-                    rid = None
-                    if completion.message is not None:
-                        rid = completion.message.rid
-                        if completion.flushed:
-                            completion.message.transfer(
-                                f"rnic:{self.node.name}", self.AGENT)
-                            completion.message.retire(self.AGENT)
-                    for gw in self.siblings:
-                        if rid in gw._pending:
-                            entry = gw._pending.pop(rid, None)
-                            gw.stats.dropped += 1
-                            tel = self.env.telemetry
-                            if tel is not None:
-                                tel.metrics.counter(
-                                    "ingress_dropped_total",
-                                    "Requests the ingress could not serve.",
-                                    labels=("reason",)).labels(
-                                        "flushed-send").inc()
-                                if entry[4] is not None:
-                                    tel.tracer.end_span(entry[4],
-                                                        status="error")
-                            break
+            completions = yield cq.poll_batch()
+            for completion in completions:
+                self._dispatch_cqe(completion)
+
+    def _dispatch_cqe(self, completion) -> None:
+        if completion.is_recv:
+            rid = completion.message.rid
+            owner = next(
+                (gw for gw in self.siblings if rid in gw._pending), self
+            )
+            entry = owner._pending.get(rid)
+            worker = entry[1] if entry else rss_pick(owner.workers, rid or 0)
+            worker.inbox.put(("response", completion))
+        elif completion.opcode == Opcode.SEND and completion.buffer is not None:
+            completion.buffer.pool.put(completion.buffer, self.AGENT)
+            if not completion.ok:
+                # Flushed send (peer died): the request is lost —
+                # reclaim the stranded header and drop the pending
+                # entry so state does not leak.
+                rid = None
+                if completion.message is not None:
+                    rid = completion.message.rid
+                    if completion.flushed:
+                        completion.message.transfer(
+                            f"rnic:{self.node.name}", self.AGENT)
+                        completion.message.retire(self.AGENT)
+                for gw in self.siblings:
+                    if rid in gw._pending:
+                        entry = gw._pending.pop(rid, None)
+                        gw.stats.dropped += 1
+                        tel = self.env.telemetry
+                        if tel is not None:
+                            tel.metrics.counter(
+                                "ingress_dropped_total",
+                                "Requests the ingress could not serve.",
+                                labels=("reason",)).labels(
+                                    "flushed-send").inc()
+                            if entry[4] is not None:
+                                tel.tracer.end_span(entry[4],
+                                                    status="error")
+                        break
 
     def _replenisher(self):
         """Keep per-tenant shared RQs stocked (the DNE core-thread analog)."""

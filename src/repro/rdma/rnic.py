@@ -45,6 +45,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 __all__ = ["Rnic", "AtomicWord"]
 
+#: Sentinel granted to an uncontended NIC pipeline instead of a full
+#: Request event (the ``not users`` guard means at most one copy can
+#: ever sit in a given resource's user list, so a shared sentinel is
+#: safe — ``release`` removes it from that list by identity).
+_TOKEN = object()
+_QP_ERROR = QPState.ERROR
+
 
 class AtomicWord:
     """A remotely addressable 8-byte word (CAS target, lock word)."""
@@ -238,28 +245,127 @@ class Rnic:
 
     # -- execution ------------------------------------------------------------------
     def _execute(self, qp: QueuePair, wr: WorkRequest):
-        self._check_qp(qp)
-        remote = self.fabric.rnic(qp.remote_node)
-        link = self.fabric.link(self.node, qp.remote_node)
+        # The per-WR hot path: every message of every experiment runs
+        # through this generator once, so the pipeline-time computation,
+        # the uncontended-pipe token grant (same discipline as
+        # ``sim.resources.Resource.use``) and the short one-sided
+        # completions (WRITE/CAS) are all flattened into this frame —
+        # each removed delegation level is paid again on every resume.
+        if self.dead or qp.state == _QP_ERROR:
+            self._check_qp(qp)
+        fabric = self.fabric
+        remote = fabric.rnic(qp.remote_node)
+        link = fabric.link(self.node, qp.remote_node)
+        env = self.env
+        opcode = wr.opcode
 
-        # Sender NIC pipeline: WQE fetch + host-memory DMA at line rate.
-        payload = wr.length if wr.opcode in (Opcode.SEND, Opcode.WRITE) else 0
-        yield from self._tx_pipe.use(self._pipe_time(payload))
+        # Sender NIC pipeline: WQE fetch + host-memory DMA at line rate,
+        # and the wire bytes for the frame that follows it.
+        cost = self.cost
+        mrt = self.mrt
+        op_us = cost.rnic_op_us
+        if self.active_qps > cost.max_active_qps \
+                or mrt._total_mtt > mrt.mtt_cache_entries:
+            op_us *= cost.qp_thrash_penalty
+        if opcode == Opcode.SEND or opcode == Opcode.WRITE:
+            op_us += wr.length * cost.endhost_per_byte_us
+            wire = RDMA_HEADER_BYTES + wr.length
+        elif opcode == Opcode.CAS:
+            wire = RDMA_HEADER_BYTES + 16
+        else:  # READ: request only; the response carries the data
+            wire = RDMA_HEADER_BYTES
+        pipe = self._tx_pipe
+        users = pipe.users
+        if not users and not pipe.queue:
+            pipe._last_change = env._now
+            users.append(_TOKEN)
+            try:
+                yield env.timeout(op_us)
+            finally:
+                pipe.release(_TOKEN)
+        else:
+            yield from pipe.use(op_us)
 
         # Wire.
-        yield from link.transmit(wr.wire_bytes())
-        self._check_qp(qp)
+        yield from link.transmit(wire)
+        if self.dead or qp.state == _QP_ERROR:
+            self._check_qp(qp)
         if remote.dead:
             raise QpError(qp, f"peer nic {remote.node} died")
 
-        if wr.opcode == Opcode.SEND:
+        if opcode == Opcode.WRITE:
+            # One-sided write: receiver-oblivious, lands regardless of
+            # who is using the buffer (the §2.1 race window).
+            target = wr.remote_buffer
+            if target is None:
+                raise ValueError("one-sided WRITE requires a remote buffer")
+            remote.mrt.lookup_buffer(target)
+            length = wr.length
+            rcost = remote.cost
+            rmrt = remote.mrt
+            op_us = rcost.rnic_op_us
+            if remote.active_qps > rcost.max_active_qps \
+                    or rmrt._total_mtt > rmrt.mtt_cache_entries:
+                op_us *= rcost.qp_thrash_penalty
+            op_us += length * rcost.endhost_per_byte_us
+            pipe = remote._rx_pipe
+            users = pipe.users
+            if not users and not pipe.queue:
+                pipe._last_change = env._now
+                users.append(_TOKEN)
+                try:
+                    yield env.timeout(op_us)
+                finally:
+                    pipe.release(_TOKEN)
+            else:
+                yield from pipe.use(op_us)
+            if target.state == BufferState.IN_USE and target.owner is not None:
+                expected = wr.expected_owner
+                if expected is None or target.owner != expected:
+                    remote.potential_races += 1
+            target.payload = wr.buffer.payload if wr.buffer else wr.inline_payload
+            target.length = length
+            return Completion(opcode=Opcode.WRITE, wr_id=wr.wr_id, ok=True,
+                              buffer=wr.buffer, length=length,
+                              tenant=qp.tenant)
+        if opcode == Opcode.CAS:
+            word: AtomicWord = wr.word
+            if word.node != qp.remote_node:
+                raise ValueError(
+                    f"CAS target word lives on {word.node}, "
+                    f"QP goes to {qp.remote_node}"
+                )
+            # Atomic execution in the remote NIC (serialized by its
+            # pipeline; 16 operand bytes through the rx stage).
+            rcost = remote.cost
+            rmrt = remote.mrt
+            op_us = rcost.rnic_op_us
+            if remote.active_qps > rcost.max_active_qps \
+                    or rmrt._total_mtt > rmrt.mtt_cache_entries:
+                op_us *= rcost.qp_thrash_penalty
+            op_us += 16 * rcost.endhost_per_byte_us
+            pipe = remote._rx_pipe
+            users = pipe.users
+            if not users and not pipe.queue:
+                pipe._last_change = env._now
+                users.append(_TOKEN)
+                try:
+                    yield env.timeout(op_us)
+                finally:
+                    pipe.release(_TOKEN)
+            else:
+                yield from pipe.use(op_us)
+            old = word.value
+            if old == wr.compare:
+                word.value = wr.swap
+            back = fabric.link(qp.remote_node, self.node)
+            yield from back.transmit(RDMA_HEADER_BYTES + 8)
+            return Completion(opcode=Opcode.CAS, wr_id=wr.wr_id, ok=True,
+                              old_value=old, tenant=qp.tenant)
+        if opcode == Opcode.SEND:
             return (yield from self._complete_send(qp, wr, remote))
-        if wr.opcode == Opcode.WRITE:
-            return (yield from self._complete_write(qp, wr, remote))
-        if wr.opcode == Opcode.READ:
+        if opcode == Opcode.READ:
             return (yield from self._complete_read(qp, wr, remote))
-        if wr.opcode == Opcode.CAS:
-            return (yield from self._complete_cas(qp, wr, remote))
         raise ValueError(f"unknown opcode {wr.opcode!r}")
 
     def _complete_send(self, qp: QueuePair, wr: WorkRequest, remote: "Rnic"):
@@ -269,7 +375,17 @@ class Rnic:
         # Receiver NIC pipeline: DMA into the posted buffer (host memory
         # for off-path Palladium — the RNIC writes straight into the
         # tenant's unified pool via the cross-processor registration).
-        yield from remote._rx_pipe.use(remote._pipe_time(wr.length))
+        # Uncontended pipes grant a bare token (see ``_execute``).
+        pipe = remote._rx_pipe
+        if not pipe.users and not pipe.queue:
+            pipe._last_change = self.env._now
+            pipe.users.append(_TOKEN)
+            try:
+                yield self.env.timeout(remote._pipe_time(wr.length))
+            finally:
+                pipe.release(_TOKEN)
+        else:
+            yield from pipe.use(remote._pipe_time(wr.length))
         rbr_buffer = srq.rbr.consume(recv_wr_id)
         assert rbr_buffer is recv_buffer, "RBR table out of sync with shared RQ"
         agent = f"rnic:{remote.node}"
@@ -303,24 +419,6 @@ class Rnic:
                           buffer=wr.buffer, length=wr.length,
                           message=wr.message, tenant=qp.tenant)
 
-    def _complete_write(self, qp: QueuePair, wr: WorkRequest, remote: "Rnic"):
-        target = wr.remote_buffer
-        if target is None:
-            raise ValueError("one-sided WRITE requires a remote buffer")
-        remote.mrt.lookup_buffer(target)
-        yield from remote._rx_pipe.use(remote._pipe_time(wr.length))
-        # Receiver-oblivious: the write lands regardless of who is using
-        # the buffer.  Record the race window the paper describes (§2.1).
-        if target.state == BufferState.IN_USE and target.owner is not None:
-            expected = wr.expected_owner
-            if expected is None or target.owner != expected:
-                remote.potential_races += 1
-        target.payload = wr.buffer.payload if wr.buffer else wr.inline_payload
-        target.length = wr.length
-        return Completion(opcode=Opcode.WRITE, wr_id=wr.wr_id, ok=True,
-                          buffer=wr.buffer, length=wr.length,
-                          tenant=qp.tenant)
-
     def _complete_read(self, qp: QueuePair, wr: WorkRequest, remote: "Rnic"):
         source = wr.remote_buffer
         if source is None:
@@ -328,26 +426,30 @@ class Rnic:
         remote.mrt.lookup_buffer(source)
         length = wr.length or source.length
         # Remote NIC reads host memory and streams the response back.
-        yield from remote._rx_pipe.use(remote._pipe_time(length))
+        # Uncontended pipes grant a bare token (see ``_execute``).
+        env = self.env
+        pipe = remote._rx_pipe
+        if not pipe.users and not pipe.queue:
+            pipe._last_change = env._now
+            pipe.users.append(_TOKEN)
+            try:
+                yield env.timeout(remote._pipe_time(length))
+            finally:
+                pipe.release(_TOKEN)
+        else:
+            yield from pipe.use(remote._pipe_time(length))
         back = self.fabric.link(qp.remote_node, self.node)
         yield from back.transmit(RDMA_HEADER_BYTES + length)
-        yield from self._rx_pipe.use(self._pipe_time(length))
+        pipe = self._rx_pipe
+        if not pipe.users and not pipe.queue:
+            pipe._last_change = env._now
+            pipe.users.append(_TOKEN)
+            try:
+                yield env.timeout(self._pipe_time(length))
+            finally:
+                pipe.release(_TOKEN)
+        else:
+            yield from pipe.use(self._pipe_time(length))
         return Completion(opcode=Opcode.READ, wr_id=wr.wr_id, ok=True,
                           length=length, payload=source.payload,
                           tenant=qp.tenant)
-
-    def _complete_cas(self, qp: QueuePair, wr: WorkRequest, remote: "Rnic"):
-        word: AtomicWord = wr.word
-        if word.node != qp.remote_node:
-            raise ValueError(
-                f"CAS target word lives on {word.node}, QP goes to {qp.remote_node}"
-            )
-        # Atomic execution in the remote NIC (serialized by its pipeline).
-        yield from remote._rx_pipe.use(remote._pipe_time(16))
-        old = word.value
-        if old == wr.compare:
-            word.value = wr.swap
-        back = self.fabric.link(qp.remote_node, self.node)
-        yield from back.transmit(RDMA_HEADER_BYTES + 8)
-        return Completion(opcode=Opcode.CAS, wr_id=wr.wr_id, ok=True,
-                          old_value=old, tenant=qp.tenant)

@@ -1,0 +1,173 @@
+"""Coalescing timer wheel for cancellation-heavy timer workloads.
+
+The kernel's :meth:`Environment.timeout` is exact but pays one heap
+entry per timer, and a cancelled timer (a retransmit deadline beaten
+by its ack, a guard that almost never fires) still rides the heap to
+its deadline before being discarded.  Retransmit, invoke-deadline and
+health-check timers dominate that pattern: the overwhelming majority
+are armed and then cancelled.
+
+:class:`TimerWheel` amortizes both costs.  Time is partitioned into
+fixed ``granularity_us`` buckets; all timers landing in one bucket
+share a single kernel event (an :meth:`Environment.defer` tick at the
+bucket edge), and :meth:`cancel` is a tombstone — one attribute write,
+no heap traffic, the tick simply skips dead handles.  A bucket whose
+every timer was cancelled still costs its one tick, nothing more.
+
+The trade-off is precision: a wheel timer fires at the *next bucket
+edge* at or after its deadline, i.e. up to ``granularity_us`` late.
+That quantization is observable, so the wheel is strictly **opt-in**:
+nothing in the default configuration routes through it, keeping the
+byte-identical seed gates exact (see docs/PERFORMANCE.md).  CoDel
+needs no wheel at all — it is a clock-driven control law evaluated on
+dequeue and owns no timers.
+
+Usage::
+
+    wheel = TimerWheel(env, granularity_us=8.0)
+    handle = wheel.schedule(50.0, on_deadline)   # fire-and-forget
+    wheel.cancel(handle)                         # tombstone, O(1)
+    yield wheel.sleep(100.0)                     # coalesced sleep
+    ticker = wheel.periodic(500.0, check_health) # repeating tick
+    ticker.stop()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from .core import Environment, Event
+
+__all__ = ["TimerWheel", "TimerHandle", "PeriodicTimer"]
+
+
+class TimerHandle:
+    """A scheduled wheel timer; ``cancel()`` tombstones it in place."""
+
+    __slots__ = ("fn", "cancelled")
+
+    def __init__(self, fn: Callable[[], None]):
+        self.fn: Optional[Callable[[], None]] = fn
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Tombstone the timer: the bucket tick will skip it."""
+        self.cancelled = True
+        self.fn = None
+
+
+class PeriodicTimer:
+    """A repeating wheel timer (``TimerWheel.periodic``)."""
+
+    __slots__ = ("_wheel", "_interval_us", "_fn", "_handle", "_stopped")
+
+    def __init__(self, wheel: "TimerWheel", interval_us: float,
+                 fn: Callable[[], None]):
+        self._wheel = wheel
+        self._interval_us = interval_us
+        self._fn = fn
+        self._stopped = False
+        self._handle = wheel.schedule(interval_us, self._tick)
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self._fn()
+        if not self._stopped:
+            self._handle = self._wheel.schedule(self._interval_us, self._tick)
+
+    def stop(self) -> None:
+        """Stop ticking; the pending bucket entry is tombstoned."""
+        self._stopped = True
+        self._handle.cancel()
+
+
+class TimerWheel:
+    """Bucketed timers: one kernel event per bucket, tombstone cancel.
+
+    ``granularity_us`` is the bucket width and the worst-case firing
+    lateness.  Pick it well under the smallest interval that matters
+    (e.g. 8 µs buckets for 50–500 µs retransmit deadlines); every
+    timer sharing a bucket then shares one kernel heap entry.
+    """
+
+    __slots__ = ("env", "granularity_us", "_buckets",
+                 "scheduled", "fired", "cancelled", "ticks")
+
+    def __init__(self, env: Environment, granularity_us: float = 8.0):
+        if granularity_us <= 0:
+            raise ValueError(
+                f"granularity_us must be positive: {granularity_us}")
+        self.env = env
+        self.granularity_us = granularity_us
+        #: bucket id -> list of handles; a bucket exists iff its defer
+        #: tick is armed, so arming is once per (bucket, lifetime)
+        self._buckets: Dict[int, List[TimerHandle]] = {}
+        # counters for tests / telemetry
+        self.scheduled = 0
+        self.fired = 0
+        self.cancelled = 0
+        self.ticks = 0
+
+    def schedule(self, delay_us: float,
+                 fn: Callable[[], None]) -> TimerHandle:
+        """Run ``fn()`` at the first bucket edge >= now + ``delay_us``."""
+        if delay_us < 0:
+            raise ValueError(f"negative timer delay: {delay_us}")
+        env = self.env
+        g = self.granularity_us
+        deadline = env._now + delay_us
+        bid = int(deadline / g)
+        edge = bid * g
+        if edge < deadline:
+            bid += 1
+            edge = bid * g
+        handle = TimerHandle(fn)
+        self.scheduled += 1
+        bucket = self._buckets.get(bid)
+        if bucket is None:
+            self._buckets[bid] = [handle]
+            env.defer(edge - env._now, lambda: self._service(bid))
+        else:
+            bucket.append(handle)
+        return handle
+
+    def cancel(self, handle: TimerHandle) -> None:
+        """Tombstone ``handle``; O(1), no kernel interaction."""
+        if not handle.cancelled:
+            handle.cancelled = True
+            handle.fn = None
+            self.cancelled += 1
+
+    def sleep(self, delay_us: float) -> Event:
+        """An event firing at the bucket edge covering ``delay_us``.
+
+        The wheel-based analogue of :meth:`Environment.timeout` for
+        process code: sleepers in the same bucket share one tick.
+        """
+        event = self.env.event()
+        self.schedule(delay_us, event.succeed)
+        return event
+
+    def periodic(self, interval_us: float,
+                 fn: Callable[[], None]) -> PeriodicTimer:
+        """Call ``fn()`` every ``interval_us`` until ``.stop()``."""
+        return PeriodicTimer(self, interval_us, fn)
+
+    def _service(self, bid: int) -> None:
+        bucket = self._buckets.pop(bid)
+        self.ticks += 1
+        fired = 0
+        for handle in bucket:
+            if not handle.cancelled:
+                fn = handle.fn
+                handle.fn = None
+                fired += 1
+                fn()
+        self.fired += fired
+
+    @property
+    def pending(self) -> int:
+        """Live (non-tombstoned) timers still waiting to fire."""
+        return sum(1 for bucket in self._buckets.values()
+                   for handle in bucket if not handle.cancelled)

@@ -215,6 +215,13 @@ class FlowAggregateModel:
         self._topology_epoch = -1
         self._epoch_index = 0
 
+    @property
+    def epochs(self) -> int:
+        """Model epochs advanced so far (the fluid analogue of kernel
+        events — benchmarks report ``model_epochs_per_sec`` because a
+        fluid section processes *zero* discrete events)."""
+        return self._epoch_index
+
     # -- derived facts --------------------------------------------------------
     @property
     def modeled_clients(self) -> int:

@@ -181,3 +181,40 @@ def test_cli_entrypoint_fails_on_violation(tmp_path):
     )
     assert proc.returncode == 1
     assert "_crossed_domain" in proc.stdout
+
+
+def test_flags_single_cqe_polling(tmp_path):
+    vs = _violations(tmp_path, "completion = yield cq.get()\n")
+    assert len(vs) == 1
+    assert "poll_batch" in vs[0][3]
+    vs = _violations(tmp_path, "completion = yield self.rnic.cq.get()\n")
+    assert len(vs) == 1
+    assert "cq.get()" in vs[0][3]
+
+
+def test_batched_and_nonblocking_cq_access_is_legal(tmp_path):
+    source = (
+        "batch = yield cq.poll_batch()\n"
+        "ready = cq.drain_ready(limit=16)\n"
+        "maybe = cq.try_get()\n"
+        "cq.put_nowait(completion)\n"
+    )
+    assert _violations(tmp_path, source) == []
+
+
+def test_rdma_package_may_pull_single_cqes(tmp_path):
+    pkg = tmp_path / "rdma"
+    pkg.mkdir()
+    path = pkg / "qp.py"
+    path.write_text("completion = yield cq.get()\n")
+    assert check_file(path) == []
+
+
+def test_non_cq_get_calls_are_legal(tmp_path):
+    # only a receiver *named* cq is the completion-queue idiom; plain
+    # store/dict gets stay untouched
+    source = (
+        "item = yield inbox.get()\n"
+        "value = mapping.get('key')\n"
+    )
+    assert _violations(tmp_path, source) == []

@@ -1,0 +1,137 @@
+"""Scheduler equivalence: the calendar queue IS the heap, bit for bit.
+
+The calendar queue (``repro.sim.CalendarQueue``) may only ship if it
+is *indistinguishable* from the flat heap: same pop order for every
+entry stream, including same-timestamp FIFO ties (the eid tie-break)
+and timers that fire with nobody listening (cancelled guards).  These
+properties back the byte-identical seed gates that CI runs under
+``REPRO_SIM_SCHEDULER=calendar``.
+"""
+
+import heapq
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import AnyOf, CalendarQueue, Environment
+
+
+# -- queue-level equivalence ------------------------------------------------
+
+# (time, priority) pools deliberately tiny so same-timestamp ties and
+# same-bucket collisions dominate the generated streams.
+_times = st.floats(min_value=0.0, max_value=200.0, allow_nan=False,
+                   allow_infinity=False)
+_tie_times = st.sampled_from([0.0, 1.0, 1.0, 2.5, 2.5, 2.5, 31.9, 32.0,
+                              32.1, 64.0, 100.0])
+_priorities = st.sampled_from([0, 1])
+
+
+def _entries(times):
+    # eid mirrors the kernel's monotone counter: it makes every tuple
+    # unique, so comparison never reaches the (uncomparable) payload.
+    return st.lists(st.tuples(times, _priorities), max_size=200).map(
+        lambda pairs: [(t, p, eid, object()) for eid, (t, p)
+                       in enumerate(pairs)])
+
+
+def _drain_heap(entries):
+    heap = []
+    for entry in entries:
+        heapq.heappush(heap, entry)
+    return [heapq.heappop(heap) for _ in range(len(heap))]
+
+
+def _drain_calendar(entries, bucket_us):
+    cal = CalendarQueue(bucket_us=bucket_us)
+    for entry in entries:
+        cal.push(entry)
+    return [cal.pop() for _ in range(len(cal))]
+
+
+@given(_entries(_times), st.sampled_from([0.5, 8.0, 32.0, 1000.0]))
+@settings(max_examples=200, deadline=None)
+def test_calendar_pops_in_exact_heap_order(entries, bucket_us):
+    assert _drain_calendar(entries, bucket_us) == _drain_heap(entries)
+
+
+@given(_entries(_tie_times))
+@settings(max_examples=200, deadline=None)
+def test_same_timestamp_ties_resolve_identically(entries):
+    # Heavy tie pool: correctness rides entirely on the eid FIFO
+    # tie-break surviving the bucket structure.
+    assert _drain_calendar(entries, 32.0) == _drain_heap(entries)
+
+
+@given(_entries(_times))
+@settings(max_examples=100, deadline=None)
+def test_interleaved_push_pop_matches_heap(entries):
+    heap, cal = [], CalendarQueue(bucket_us=32.0)
+    out_heap, out_cal = [], []
+    for i, entry in enumerate(entries):
+        heapq.heappush(heap, entry)
+        cal.push(entry)
+        if i % 3 == 2:  # pop every third push, mid-stream
+            out_heap.append(heapq.heappop(heap))
+            out_cal.append(cal.pop())
+    out_heap.extend(heapq.heappop(heap) for _ in range(len(heap)))
+    out_cal.extend(cal.pop() for _ in range(len(cal)))
+    assert out_cal == out_heap
+
+
+def test_peek_and_len():
+    cal = CalendarQueue(bucket_us=10.0)
+    assert len(cal) == 0 and not cal
+    assert cal.peek() == float("inf")
+    cal.push((25.0, 1, 0, "a"))
+    cal.push((5.0, 1, 1, "b"))
+    assert cal.peek() == 5.0
+    assert len(cal) == 2 and cal
+    assert cal.pop()[3] == "b"
+    assert cal.peek() == 25.0
+
+
+# -- environment-level equivalence ------------------------------------------
+
+def _workload(env: Environment, delays, log):
+    """A process mixing timers, ties, and abandoned (lost-race) guards."""
+
+    def sleeper(tag, delay):
+        yield env.timeout(delay)
+        log.append((env.now, tag))
+
+    def racer(tag, fast, slow):
+        # The slow timeout loses the race and fires later with no
+        # consumer — the kernel-level shape of a cancelled guard.
+        winner = env.timeout(fast)
+        loser = env.timeout(slow)
+        yield AnyOf(env, [winner, loser])
+        log.append((env.now, tag, "won"))
+
+    for i, delay in enumerate(delays):
+        env.process(sleeper(f"s{i}", delay), name=f"s{i}")
+        env.process(racer(f"r{i}", delay, delay + 0.25), name=f"r{i}")
+
+
+@given(st.lists(st.sampled_from([0.0, 1.0, 1.0, 7.5, 31.9, 32.0, 33.0,
+                                 64.0, 64.0, 97.1]),
+                min_size=1, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_environment_trace_identical_across_schedulers(delays):
+    logs = {}
+    for scheduler in ("heap", "calendar"):
+        env = Environment(scheduler=scheduler, bucket_us=32.0)
+        log = []
+        _workload(env, delays, log)
+        env.run()
+        logs[scheduler] = (log, env.events_processed, env.now)
+    assert logs["heap"] == logs["calendar"]
+
+
+def test_environment_scheduler_validation():
+    try:
+        Environment(scheduler="fifo")
+    except ValueError as exc:
+        assert "fifo" in str(exc)
+    else:  # pragma: no cover
+        raise AssertionError("bad scheduler name accepted")

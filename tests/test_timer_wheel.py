@@ -1,0 +1,195 @@
+"""The coalescing timer wheel: bucket ticks, tombstones, opt-in wiring."""
+
+from repro.platform import FunctionSpec, ServerlessPlatform
+from repro.platform.function import InvokeTimeout
+from repro.platform.tenant import Tenant
+from repro.sim import Environment, TimerWheel
+
+
+# ---------------------------------------------------------------------------
+# wheel semantics
+# ---------------------------------------------------------------------------
+
+def test_fires_at_next_bucket_edge():
+    env = Environment()
+    wheel = TimerWheel(env, granularity_us=10.0)
+    fired = []
+    wheel.schedule(12.0, lambda: fired.append(env.now))
+    env.run()
+    # deadline 12 -> bucket edge 20 (never early, at most one bucket late)
+    assert fired == [20.0]
+
+
+def test_exact_edge_is_not_delayed():
+    env = Environment()
+    wheel = TimerWheel(env, granularity_us=10.0)
+    fired = []
+    wheel.schedule(30.0, lambda: fired.append(env.now))
+    env.run()
+    assert fired == [30.0]
+
+
+def test_bucket_coalescing_one_kernel_event_per_bucket():
+    env = Environment()
+    wheel = TimerWheel(env, granularity_us=32.0)
+    fired = []
+    for i in range(50):  # all land in the same bucket
+        wheel.schedule(10.0 + i * 0.1, lambda i=i: fired.append(i))
+    env.run()
+    assert sorted(fired) == list(range(50))
+    assert wheel.ticks == 1
+    # one shared tick: exactly one timer event reached the heap
+    assert env.events_processed == 1
+
+
+def test_cancel_is_a_tombstone():
+    env = Environment()
+    wheel = TimerWheel(env, granularity_us=8.0)
+    fired = []
+    handles = [wheel.schedule(20.0, lambda i=i: fired.append(i))
+               for i in range(10)]
+    for handle in handles[1:]:
+        wheel.cancel(handle)
+    wheel.cancel(handles[1])  # idempotent
+    assert wheel.pending == 1
+    env.run()
+    assert fired == [0]
+    assert wheel.cancelled == 9
+    assert wheel.fired == 1
+    assert wheel.ticks == 1  # the bucket still costs its single tick
+
+
+def test_sleep_coalesces_sleepers():
+    env = Environment()
+    wheel = TimerWheel(env, granularity_us=16.0)
+    woke = []
+
+    def sleeper(tag, delay):
+        yield wheel.sleep(delay)
+        woke.append((env.now, tag))
+
+    env.process(sleeper("a", 3.0), name="a")
+    env.process(sleeper("b", 15.0), name="b")
+    env.run()
+    assert woke == [(16.0, "a"), (16.0, "b")]
+
+
+def test_periodic_ticks_until_stopped():
+    env = Environment()
+    wheel = TimerWheel(env, granularity_us=5.0)
+    ticks = []
+    timer = wheel.periodic(25.0, lambda: ticks.append(env.now))
+
+    def stopper():
+        yield env.timeout(80.0)
+        timer.stop()
+
+    env.process(stopper(), name="stop")
+    env.run()
+    assert ticks == [25.0, 50.0, 75.0]
+
+
+def test_validation():
+    env = Environment()
+    try:
+        TimerWheel(env, granularity_us=0.0)
+    except ValueError:
+        pass
+    else:  # pragma: no cover
+        raise AssertionError("zero granularity accepted")
+    wheel = TimerWheel(env)
+    try:
+        wheel.schedule(-1.0, lambda: None)
+    except ValueError:
+        pass
+    else:  # pragma: no cover
+        raise AssertionError("negative delay accepted")
+
+
+# ---------------------------------------------------------------------------
+# opt-in wiring: node guard timers through the wheel
+# ---------------------------------------------------------------------------
+
+def _platform():
+    env = Environment()
+    plat = ServerlessPlatform(env)
+    plat.add_tenant(Tenant("t1"))
+    return env, plat
+
+
+def _drive(env, body, until=500_000, warmup=40_000):
+    def driver():
+        yield env.timeout(warmup)  # RC warm-up
+        yield from body()
+
+    env.process(driver())
+    env.run(until=until)
+
+
+def test_wheel_backed_invoke_deadline_still_times_out():
+    env, plat = _platform()
+    client = plat.deploy(FunctionSpec("client", "t1", work_us=0), "worker0")
+    plat.deploy(FunctionSpec("server", "t1", work_us=0), "worker1")
+    runtime = plat.runtimes["worker0"]
+    runtime.invoke_timeout_us = 10_000.0
+    wheel = runtime.enable_timer_wheel(granularity_us=64.0)
+    assert runtime.enable_timer_wheel() is wheel  # idempotent
+    plat.start()
+    caught = []
+
+    def body():
+        plat.crash_node("worker1", recovery=False)
+        try:
+            yield from client.invoke("server", "ping", 64)
+        except InvokeTimeout:
+            caught.append(env.now)
+
+    _drive(env, body)
+    assert len(caught) == 1
+    assert client.invoke_timeouts == 1
+    assert wheel.fired >= 1  # the deadline came off the wheel
+
+
+def test_wheel_guard_is_cancelled_when_the_reply_wins():
+    env, plat = _platform()
+    client = plat.deploy(FunctionSpec("client", "t1", work_us=0), "worker0")
+    plat.deploy(FunctionSpec("server", "t1", work_us=0), "worker1")
+    runtime = plat.runtimes["worker0"]
+    runtime.invoke_timeout_us = 50_000.0
+    wheel = runtime.enable_timer_wheel(granularity_us=64.0)
+    plat.start()
+    replies = []
+
+    def body():
+        reply = yield from client.invoke("server", "ping", 64)
+        replies.append(reply.payload)
+
+    _drive(env, body)
+    assert len(replies) == 1
+    assert client.invoke_timeouts == 0
+    # the guard never fired: the reply tombstoned it
+    assert wheel.cancelled >= 1
+    assert wheel.fired == 0
+
+
+def test_wheel_backed_reliable_send_acks_cancel_the_guard():
+    env, plat = _platform()
+    client = plat.deploy(FunctionSpec("client", "t1", work_us=0), "worker0")
+    plat.deploy(FunctionSpec("server", "t1", work_us=0), "worker1")
+    runtime = plat.runtimes["worker0"]
+    wheel = runtime.enable_timer_wheel(granularity_us=64.0)
+    plat.start()
+
+    from repro.dataplane import Message
+
+    def body():
+        yield from client.iolib.send("fn:client", "server", "ping", 64,
+                                     Message(tenant="t1"),
+                                     timeout_us=20_000.0)
+
+    _drive(env, body)
+    assert client.iolib.send_failures == 0
+    assert client.iolib.retransmissions == 0
+    assert plat.functions["server"].handled == 1
+    assert wheel.cancelled >= 1
+    assert wheel.fired == 0

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Append one trend line per bench run to ``BENCH_history.jsonl``.
+
+``BENCH_host_perf.json`` is a read-modify-write snapshot — every
+regeneration overwrites the previous numbers, so the repo keeps no
+memory of how throughput moved across commits.  This tool closes that
+gap: it reads the current snapshot and appends a single JSON line
+(commit, commit date, workload totals, per-kernel-mix events/sec) to
+an append-only ``BENCH_history.jsonl``.  CI's perf-smoke job runs it
+after the kernel microbench and uploads the file as an artifact;
+committing the appended line is optional but keeps the trend in-repo.
+
+Usage::
+
+    python tools/bench_history.py            # append to BENCH_history.jsonl
+    python tools/bench_history.py --dry-run  # print the line, append nothing
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SNAPSHOT = REPO / "BENCH_host_perf.json"
+HISTORY = REPO / "BENCH_history.jsonl"
+
+
+def _git(*args: str) -> str:
+    try:
+        return subprocess.run(
+            ["git", *args], cwd=REPO, check=True, text=True,
+            capture_output=True).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def trend_line(snapshot: dict) -> dict:
+    """The one-line summary appended per run."""
+    line = {
+        "commit": _git("rev-parse", "--short", "HEAD"),
+        "commit_date": _git("show", "-s", "--format=%cI", "HEAD"),
+        "total_events_per_sec": snapshot.get("total_events_per_sec"),
+        "total_sim_events": snapshot.get("total_sim_events"),
+        "total_wall_clock_s": snapshot.get("total_wall_clock_s"),
+    }
+    kernel = snapshot.get("kernel", {})
+    line["kernel_events_per_sec"] = {
+        name: profile.get("events_per_sec")
+        for name, profile in sorted(kernel.items())
+    }
+    return line
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--dry-run", action="store_true",
+                        help="print the trend line without appending")
+    parser.add_argument("--history", default=str(HISTORY),
+                        help="trend file to append to")
+    args = parser.parse_args(argv)
+
+    if not SNAPSHOT.exists():
+        print(f"no {SNAPSHOT.name}; run the benches first", file=sys.stderr)
+        return 1
+    snapshot = json.loads(SNAPSHOT.read_text())
+    line = trend_line(snapshot)
+    encoded = json.dumps(line, sort_keys=True)
+    if args.dry_run:
+        print(encoded)
+        return 0
+    with open(args.history, "a") as fh:
+        fh.write(encoded + "\n")
+    print(f"appended to {args.history}: {encoded}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,6 +35,14 @@ rejects direct spray calls:
   selection must go through ``IngressLoadBalancer`` or
   ``TieredIngress``).
 
+The batched-execution PR moved every CQ consumer to coalesced
+draining (``cq.poll_batch()`` — one kernel wakeup per completion
+burst).  Outside ``src/repro/rdma/`` (the device layer that owns the
+CQ) the checker rejects the per-CQE idiom it replaced:
+
+* calls ``cq.get(...)`` / ``<expr>.cq.get(...)`` (drain with
+  ``poll_batch()`` so a burst costs one wakeup, not one per CQE).
+
 Usage::
 
     python tools/lint_dataplane.py [root ...]
@@ -73,17 +81,22 @@ SPRAY_EXEMPT_PARTS = frozenset({"ingress", "hw"})
 #: the spray/selection primitives reserved to the ingress tier
 SPRAY_FUNCS = frozenset({"rss_queue", "rss_pick"})
 
+#: path fragment allowed to pull single CQEs (the device layer)
+CQ_EXEMPT_PART = "rdma"
+
 Violation = Tuple[str, int, int, str]
 
 
 class _MetaVisitor(ast.NodeVisitor):
     def __init__(self, path: str, check_meta: bool = True,
                  check_controlplane: bool = True,
-                 check_spray: bool = True):
+                 check_spray: bool = True,
+                 check_cq: bool = True):
         self.path = path
         self.check_meta = check_meta
         self.check_controlplane = check_controlplane
         self.check_spray = check_spray
+        self.check_cq = check_cq
         self.violations: List[Violation] = []
 
     def _flag(self, node: ast.AST, message: str) -> None:
@@ -122,6 +135,19 @@ class _MetaVisitor(ast.NodeVisitor):
                 self._flag(node, f"direct gateway spray '{callee}()' "
                                  f"outside repro.ingress (route through "
                                  f"IngressLoadBalancer or TieredIngress)")
+        # cq.get(...) / <expr>.cq.get(...): per-CQE polling
+        if self.check_cq and isinstance(func, ast.Attribute) \
+                and func.attr == "get":
+            base = func.value
+            base_name = None
+            if isinstance(base, ast.Name):
+                base_name = base.id
+            elif isinstance(base, ast.Attribute):
+                base_name = base.attr
+            if base_name == "cq":
+                self._flag(node, "single-CQE 'cq.get()' polling outside "
+                                 "repro.rdma (drain bursts with "
+                                 "cq.poll_batch())")
         if not self.check_meta:
             self.generic_visit(node)
             return
@@ -169,12 +195,17 @@ def _is_spray_exempt(path: Path) -> bool:
     return bool(SPRAY_EXEMPT_PARTS.intersection(path.parts))
 
 
+def _is_cq_exempt(path: Path) -> bool:
+    return CQ_EXEMPT_PART in path.parts
+
+
 def check_file(path: Path) -> List[Violation]:
     """Return the violations in one Python source file."""
     check_meta = not _is_exempt(path)
     check_controlplane = not _is_controlplane_exempt(path)
     check_spray = not _is_spray_exempt(path)
-    if not (check_meta or check_controlplane or check_spray):
+    check_cq = not _is_cq_exempt(path)
+    if not (check_meta or check_controlplane or check_spray or check_cq):
         return []
     try:
         tree = ast.parse(path.read_text(), filename=str(path))
@@ -183,7 +214,8 @@ def check_file(path: Path) -> List[Violation]:
                  f"syntax error: {exc.msg}")]
     visitor = _MetaVisitor(str(path), check_meta=check_meta,
                            check_controlplane=check_controlplane,
-                           check_spray=check_spray)
+                           check_spray=check_spray,
+                           check_cq=check_cq)
     visitor.visit(tree)
     return visitor.violations
 
